@@ -1,0 +1,104 @@
+"""E8 — "under the hood": the exact DP versus brute force versus greedy.
+
+The demo shows the audience the intermediate results and computational
+sequence of the algorithm.  This ablation quantifies why the dynamic program
+matters: it compares the exact polynomial-time DP against exhaustive cut
+enumeration (exponential, the optimality oracle) and the greedy heuristic on
+the same instances, both for runtime and for solution quality.
+"""
+
+import pytest
+
+from repro.core.brute_force import optimize_brute_force
+from repro.core.greedy import optimize_greedy
+from repro.core.optimizer import optimize_single_tree
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.random_polynomials import random_single_tree_instance
+from repro.workloads.telephony import TelephonyConfig, generate_revenue_provenance
+
+
+@pytest.fixture(scope="module")
+def telephony_instance():
+    """A 50-zip telephony instance with the Figure 2 tree (6,600 monomials)."""
+    config = TelephonyConfig(num_customers=2_000, num_zips=50, months=tuple(range(1, 13)))
+    provenance = generate_revenue_provenance(config)
+    tree = plans_tree()
+    bound = 50 * 12 * 5  # allow five plan groups
+    return provenance, tree, bound
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    """A random 10-leaf tree instance where brute force is still tractable."""
+    provenance, tree = random_single_tree_instance(
+        num_leaves=10, num_groups=6, monomials_per_group=30, seed=11
+    )
+    bound = max(1, int(provenance.size() * 0.6))
+    return provenance, tree, bound
+
+
+class TestTelephonyInstance:
+    @pytest.mark.benchmark(group="E8-ablation-telephony")
+    def test_dynamic_programming(self, benchmark, telephony_instance):
+        provenance, tree, bound = telephony_instance
+        result = benchmark(lambda: optimize_single_tree(provenance, tree, bound))
+        assert result.feasible
+        assert result.achieved_size <= bound
+
+    @pytest.mark.benchmark(group="E8-ablation-telephony")
+    def test_brute_force(self, benchmark, telephony_instance):
+        provenance, tree, bound = telephony_instance
+        result = benchmark.pedantic(
+            lambda: optimize_brute_force(provenance, tree, bound),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.feasible
+
+    @pytest.mark.benchmark(group="E8-ablation-telephony")
+    def test_greedy(self, benchmark, telephony_instance):
+        provenance, tree, bound = telephony_instance
+        result = benchmark.pedantic(
+            lambda: optimize_greedy(provenance, tree, bound), rounds=1, iterations=1
+        )
+        assert result.feasible
+
+    def test_solution_quality(self, telephony_instance):
+        """DP matches the brute-force optimum; greedy may lose variables."""
+        provenance, tree, bound = telephony_instance
+        dp = optimize_single_tree(provenance, tree, bound)
+        bf = optimize_brute_force(provenance, tree, bound)
+        greedy = optimize_greedy(provenance, tree, bound)
+        assert dp.cut.num_variables() == bf.cut.num_variables()
+        assert greedy.cut.num_variables() <= dp.cut.num_variables()
+        assert greedy.achieved_size <= bound
+
+
+class TestRandomInstance:
+    @pytest.mark.benchmark(group="E8-ablation-random")
+    def test_dynamic_programming(self, benchmark, random_instance):
+        provenance, tree, bound = random_instance
+        result = benchmark(lambda: optimize_single_tree(provenance, tree, bound))
+        assert result.achieved_size <= bound
+
+    @pytest.mark.benchmark(group="E8-ablation-random")
+    def test_brute_force(self, benchmark, random_instance):
+        provenance, tree, bound = random_instance
+        result = benchmark.pedantic(
+            lambda: optimize_brute_force(provenance, tree, bound),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.achieved_size <= bound
+
+    @pytest.mark.benchmark(group="E8-ablation-random")
+    def test_greedy(self, benchmark, random_instance):
+        provenance, tree, bound = random_instance
+        result = benchmark(lambda: optimize_greedy(provenance, tree, bound))
+        assert result.achieved_size <= bound
+
+    def test_dp_is_optimal(self, random_instance):
+        provenance, tree, bound = random_instance
+        dp = optimize_single_tree(provenance, tree, bound)
+        bf = optimize_brute_force(provenance, tree, bound)
+        assert dp.cut.num_variables() == bf.cut.num_variables()

@@ -1,0 +1,80 @@
+"""E4 — the interactive bound exploration of the demo's second phase.
+
+The demo lets the audience "interactively examine the effect of the bound on
+the query results, provenance size and assignment time".  This bench fixes a
+medium telephony instance (200 zip codes, 26,400 monomials) and sweeps the
+bound from the uncompressed size down to the root cut, recording for every
+bound the achieved size, the number of surviving plan variables and the
+assignment speedup — the series a figure in a full paper would plot.
+"""
+
+import pytest
+
+from repro.core.optimizer import optimize_single_tree
+from repro.engine.session import CobraSession
+
+ZIPS = 200
+MONTHS = 12
+CELL = ZIPS * MONTHS  # monomials contributed by one plan-group in a cut
+
+#: The sweep, expressed as the number of plan groups the bound allows.
+SWEEP_GROUPS = (11, 9, 7, 5, 3, 1)
+
+
+@pytest.fixture(scope="module")
+def sweep_results(medium_provenance, fig2_tree):
+    """The full sweep, computed once and shared by the assertions below."""
+    session = CobraSession(medium_provenance)
+    session.set_abstraction_trees(fig2_tree)
+    rows = []
+    for groups in SWEEP_GROUPS:
+        bound = CELL * groups
+        session.set_bound(bound)
+        result = session.compress()
+        report = session.assign(speedup_repeats=2)
+        rows.append(
+            {
+                "bound": bound,
+                "size": result.achieved_size,
+                "variables": result.cut.num_variables(),
+                "speedup": report.speedup_fraction,
+                "max_rel_error": report.max_relative_error,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E4-bound-sweep")
+def test_bound_sweep_series(benchmark, medium_provenance, fig2_tree, sweep_results):
+    """Benchmark one representative sweep point and assert the series' shape."""
+    benchmark.pedantic(
+        lambda: optimize_single_tree(medium_provenance, fig2_tree, CELL * 5),
+        rounds=1,
+        iterations=1,
+    )
+
+    sizes = [row["size"] for row in sweep_results]
+    variables = [row["variables"] for row in sweep_results]
+    # Size and expressiveness shrink monotonically as the bound tightens.
+    assert sizes == sorted(sizes, reverse=True)
+    assert variables == sorted(variables, reverse=True)
+    assert sizes[0] == medium_provenance.size()
+    assert variables[0] == 11 and variables[-1] == 1
+    # Every point respects its bound and is a multiple of zips x months.
+    for row, groups in zip(sweep_results, SWEEP_GROUPS):
+        assert row["size"] <= row["bound"]
+        assert row["size"] == CELL * groups
+        # Under the default (identity) assignment compression is lossless.
+        assert row["max_rel_error"] < 1e-9
+
+
+@pytest.mark.benchmark(group="E4-bound-sweep")
+def test_speedup_grows_as_bound_tightens(benchmark, sweep_results):
+    """The assignment-time series: tighter bounds give larger speedups."""
+    speedups = benchmark.pedantic(
+        lambda: [row["speedup"] for row in sweep_results], rounds=1, iterations=1
+    )
+    # The finest abstraction has (near) zero speedup; the coarsest the largest.
+    assert speedups[-1] == max(speedups)
+    assert speedups[-1] > 0.3
+    assert speedups[0] <= speedups[-1]

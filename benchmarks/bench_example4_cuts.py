@@ -1,0 +1,69 @@
+"""E2 — Figure 2 / Example 4: the cuts S1–S5 of the plans abstraction tree.
+
+For every cut listed in Example 4 this bench applies the abstraction to the
+Example 2 provenance {P1, P2}, asserts the resulting number of monomials and
+variables (the quantities Example 4 discusses), and benchmarks the
+compression step itself.
+
+Paper-reported shape (on P1 alone, Example 4): S1 gives 4 monomials over 4
+variables, S5 gives 2 monomials over 3 variables.  The assertions below also
+cover the full {P1, P2} multiset, which is what COBRA actually stores.
+"""
+
+import pytest
+
+from repro.core.compression import apply_abstraction
+from repro.core.cut import Cut
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.telephony import example2_provenance
+
+#: cut name -> (nodes, expected size on {P1, P2}, expected #cut variables)
+CUTS = {
+    "S1": (("Business", "Special", "Standard"), 6, 3),
+    "S2": (("SB", "e", "f1", "f2", "Y", "v", "Standard"), 12, 7),
+    "S3": (("b1", "b2", "e", "Special", "Standard"), 10, 5),
+    "S4": (("SB", "e", "F", "Y", "v", "p1", "p2"), 12, 7),
+    "S5": (("Plans",), 4, 1),
+}
+
+
+@pytest.fixture(scope="module")
+def provenance():
+    return example2_provenance()
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return plans_tree()
+
+
+@pytest.mark.parametrize("name", list(CUTS))
+@pytest.mark.benchmark(group="E2-example4-cuts")
+def test_cut_compression(benchmark, provenance, tree, name):
+    nodes, expected_size, expected_variables = CUTS[name]
+    cut = Cut(tree, nodes)
+
+    result = benchmark(lambda: apply_abstraction(provenance, cut))
+
+    assert result.compressed_size == expected_size
+    assert cut.num_variables() == expected_variables
+    # Compression preserves the result under the all-ones valuation.
+    ones_full = {v: 1.0 for v in provenance.variables()}
+    ones_compressed = {v: 1.0 for v in result.compressed.variables()}
+    full = provenance.evaluate(ones_full)
+    compressed = result.compressed.evaluate(ones_compressed)
+    for key in full:
+        assert compressed[key] == pytest.approx(full[key])
+
+
+@pytest.mark.benchmark(group="E2-example4-cuts")
+def test_p1_only_matches_example4_prose(benchmark, provenance, tree):
+    """The exact sentence of Example 4: S1 on P1 -> 4 monomials, 4 variables."""
+    p1 = provenance[("10001",)]
+    cut = Cut.of(tree, "Business", "Special", "Standard")
+
+    result = benchmark(lambda: apply_abstraction(p1, cut))
+
+    compressed = result.compressed[(0,)]
+    assert compressed.num_monomials() == 4
+    assert len(compressed.variables()) == 4

@@ -1,0 +1,83 @@
+"""E10 (additional ablation) — scaling of the exact optimiser.
+
+The demo paper's claim that the single-tree problem "is solvable in
+polynomial time complexity" is what makes interactive bound exploration
+possible.  This bench measures how the dynamic program scales along the two
+input dimensions that matter:
+
+* the provenance size (number of monomials) at a fixed tree — dominated by
+  the load-model construction, which is a single linear pass;
+* the number of tree leaves at a fixed provenance size — the tree-knapsack
+  DP itself.
+
+Brute force is included at the smallest sizes only, to show the exponential
+blow-up the DP avoids.
+"""
+
+import pytest
+
+from repro.core.brute_force import optimize_brute_force
+from repro.core.optimizer import optimize_single_tree
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.random_polynomials import random_provenance, random_tree
+from repro.workloads.telephony import TelephonyConfig, generate_revenue_provenance
+
+#: Provenance-size scaling: number of zip codes of the telephony instance.
+ZIP_COUNTS = (25, 100, 400)
+
+#: Tree-size scaling: number of leaves of a random tree.
+LEAF_COUNTS = (8, 32, 128)
+
+
+@pytest.mark.parametrize("zips", ZIP_COUNTS)
+@pytest.mark.benchmark(group="E10-scaling-provenance")
+def test_dp_scales_with_provenance_size(benchmark, zips):
+    provenance = generate_revenue_provenance(
+        TelephonyConfig(num_customers=zips * 11, num_zips=zips)
+    )
+    tree = plans_tree()
+    bound = zips * 12 * 5
+
+    result = benchmark.pedantic(
+        lambda: optimize_single_tree(provenance, tree, bound), rounds=1, iterations=1
+    )
+
+    assert result.feasible
+    assert result.achieved_size == zips * 12 * 5
+
+
+@pytest.mark.parametrize("leaves", LEAF_COUNTS)
+@pytest.mark.benchmark(group="E10-scaling-tree")
+def test_dp_scales_with_tree_size(benchmark, leaves):
+    tree = random_tree(leaves, seed=leaves)
+    provenance = random_provenance(
+        tree.leaves(),
+        num_groups=10,
+        monomials_per_group=60,
+        extra_variables=[f"e{i}" for i in range(5)],
+        seed=leaves,
+    )
+    bound = max(1, int(provenance.size() * 0.6))
+
+    result = benchmark.pedantic(
+        lambda: optimize_single_tree(provenance, tree, bound), rounds=1, iterations=1
+    )
+
+    assert result.achieved_size <= bound
+
+
+@pytest.mark.benchmark(group="E10-scaling-brute-force")
+def test_brute_force_blows_up_even_on_small_trees(benchmark):
+    """The same 8-leaf instance the DP solves in milliseconds, via enumeration."""
+    tree = random_tree(8, seed=8)
+    provenance = random_provenance(
+        tree.leaves(), num_groups=10, monomials_per_group=60, seed=8
+    )
+    bound = max(1, int(provenance.size() * 0.6))
+
+    result = benchmark.pedantic(
+        lambda: optimize_brute_force(provenance, tree, bound), rounds=1, iterations=1
+    )
+
+    exact = optimize_single_tree(provenance, tree, bound)
+    assert result.cut.num_variables() == exact.cut.num_variables()

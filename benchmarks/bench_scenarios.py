@@ -1,0 +1,83 @@
+"""E7 — the meta-variable assignment screen (Figure 5) and Example 1 scenarios.
+
+The demo presents every meta-variable with the variables it abstracts and a
+default value (the average of their values), lets the analyst change the
+values, and shows the induced change in the query results.  This bench runs
+the two hypothetical questions of Example 1 — "decrease all plan prices by
+20% in March" and "increase the business plans' prices by 10%" — through a
+session over the medium telephony instance, measuring the assignment step
+and asserting that group-uniform scenarios are answered exactly from the
+compressed provenance.
+"""
+
+import pytest
+
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+
+BOUND_GROUPS = 3  # compress to the S1-style three plan groups
+
+
+@pytest.fixture(scope="module")
+def session(medium_provenance, fig2_tree):
+    session = CobraSession(medium_provenance)
+    session.set_abstraction_trees(fig2_tree)
+    session.set_bound(200 * 12 * BOUND_GROUPS)
+    session.compress()
+    return session
+
+
+@pytest.mark.benchmark(group="E7-scenarios")
+def test_meta_variable_panel(benchmark, session):
+    """Building the Figure 5 panel: every meta-variable, members and defaults."""
+    panel = benchmark(session.meta_variable_panel)
+    assert len(panel) == BOUND_GROUPS
+    for row in panel:
+        assert row.members
+        assert row.default_value == pytest.approx(1.0)  # all-ones base valuation
+
+
+@pytest.mark.benchmark(group="E7-scenarios")
+def test_march_discount_scenario(benchmark, session):
+    """Example 1: what if all plan prices drop by 20% in March?"""
+    scenario = Scenario("march discount").scale(["m3"], 0.8)
+
+    report = benchmark.pedantic(
+        lambda: session.assign_scenario(scenario, measure_assignment_speedup=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert report.max_relative_error < 1e-9
+    assert all(group.change_from_baseline <= 0.0 for group in report.groups)
+    assert any(group.change_from_baseline < 0.0 for group in report.groups)
+
+
+@pytest.mark.benchmark(group="E7-scenarios")
+def test_business_increase_scenario(benchmark, session):
+    """Example 1: what if the business plans' prices rise by 10%?"""
+    scenario = Scenario("business increase").scale(["b1", "b2", "e"], 1.1)
+
+    report = benchmark.pedantic(
+        lambda: session.assign_scenario(scenario, measure_assignment_speedup=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert report.max_relative_error < 1e-9
+    assert all(group.change_from_baseline >= 0.0 for group in report.groups)
+
+
+@pytest.mark.benchmark(group="E7-scenarios")
+def test_non_uniform_scenario_error_is_reported(benchmark, session):
+    """A scenario finer than the abstraction: the report quantifies the drift."""
+    scenario = Scenario("single plan").scale(["b1"], 2.0)
+
+    report = benchmark.pedantic(
+        lambda: session.assign_scenario(scenario, measure_assignment_speedup=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert report.max_absolute_error > 0.0
+    assert report.max_relative_error < 0.5

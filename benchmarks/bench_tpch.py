@@ -1,0 +1,70 @@
+"""E6 — the TPC-H demonstration: compressing a subset of TPC-H queries.
+
+The demo's second dataset is TPC-H; the paper presents "a subset of its
+queries" without reporting per-query numbers.  This bench generates the
+synthetic TPC-H-style instance, builds the provenance of the five reproduced
+queries (Q1, Q3, Q5, Q6, Q10), compresses each under a bound of half its
+provenance size using the abstraction tree recommended for it, and records
+sizes, variable counts and assignment losslessness under the identity
+valuation.
+"""
+
+import pytest
+
+from repro.core.multi_tree import optimize_forest
+from repro.engine.session import CobraSession
+from repro.workloads.tpch_queries import (
+    q1_pricing_summary,
+    q3_segment_revenue,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+    q10_returned_items,
+)
+
+QUERIES = {
+    "Q1": q1_pricing_summary,
+    "Q3": q3_segment_revenue,
+    "Q5": q5_local_supplier_volume,
+    "Q6": q6_forecast_revenue,
+    "Q10": q10_returned_items,
+}
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+@pytest.mark.benchmark(group="E6-tpch-provenance")
+def test_provenance_generation(benchmark, tpch_catalog, name):
+    """Provenance generation time for each reproduced TPC-H query."""
+    build = QUERIES[name]
+
+    item = benchmark.pedantic(lambda: build(tpch_catalog), rounds=1, iterations=1)
+
+    assert item.provenance.size() >= 1
+    assert item.provenance.num_variables() >= 1
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+@pytest.mark.benchmark(group="E6-tpch-compression")
+def test_compression_at_half_size(benchmark, tpch_catalog, name):
+    """Compress each query's provenance to at most half its size."""
+    item = QUERIES[name](tpch_catalog)
+    full = item.provenance.size()
+    bound = max(1, full // 2)
+
+    result = benchmark.pedantic(
+        lambda: optimize_forest(
+            item.provenance, item.trees, bound, allow_infeasible=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.achieved_size <= full
+    if result.feasible:
+        assert result.achieved_size <= bound
+    # Compression is always lossless under the identity valuation.
+    session = CobraSession(item.provenance)
+    session.set_abstraction_trees(item.trees)
+    session.set_bound(bound)
+    session.compress(allow_infeasible=True)
+    report = session.assign(measure_assignment_speedup=False)
+    assert report.max_relative_error < 1e-6

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e .`` without the ``wheel``
+package available, e.g. on air-gapped machines) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""The command-line front-end of the COBRA reproduction."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

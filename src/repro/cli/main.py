@@ -1,0 +1,289 @@
+"""``cobra`` — a text front-end mirroring the demo's interaction flow.
+
+The published system drives an Angular GUI; this CLI exposes the same
+back-end workflow (Figure 4) from the terminal:
+
+* ``cobra demo`` — walk through the Figure 1 running example: show the
+  provenance polynomials P1/P2, the Figure 2 tree, compress under a bound
+  and compare results (optionally under the "-20% in March" scenario);
+* ``cobra telephony`` — the Section 4 scale experiment: generate the large
+  telephony provenance, compress under one or more bounds and report sizes
+  and assignment speedups;
+* ``cobra tpch`` — run the reproduced TPC-H queries and compress each one;
+* ``cobra compress`` — the generic entry point: read provenance (JSON) and a
+  tree (JSON) from disk, compress under a bound and write the result.
+
+Every subcommand prints the numbers the demo shows its audience: provenance
+size before/after, the chosen cut, number of variables, assignment speedup
+and the drift of the analysis results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.abstraction_tree import AbstractionTree
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.provenance.serialization import (
+    load_provenance_set,
+    provenance_set_to_dict,
+)
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.telephony import (
+    TelephonyConfig,
+    example2_provenance,
+    generate_revenue_provenance,
+)
+from repro.workloads.tpch import TpchConfig, generate_tpch_catalog
+from repro.workloads.tpch_queries import all_tpch_queries
+
+
+def _print(text: str = "") -> None:
+    sys.stdout.write(text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    """The Figure 1 / Example 2 walk-through."""
+    provenance = example2_provenance()
+    tree = plans_tree()
+
+    _print("== COBRA demo: the telephony running example ==")
+    _print()
+    _print("Provenance polynomials (Example 2):")
+    for key, polynomial in provenance.items():
+        _print(f"  zip {key[0]}: {polynomial.to_text()}")
+    _print()
+    _print("Abstraction tree (Figure 2):")
+    _print(tree.to_ascii())
+    _print()
+
+    session = CobraSession(provenance)
+    session.set_abstraction_trees(tree)
+    session.set_bound(args.bound)
+    result = session.compress(keep_trace=True)
+
+    _print(f"Bound: {args.bound}")
+    _print(f"Chosen cut: {sorted(result.cut.nodes)}")
+    _print(
+        f"Provenance size: {result.compression.original_size} -> "
+        f"{result.achieved_size} monomials"
+    )
+    _print(
+        f"Variables: {result.compression.original_variables} -> "
+        f"{result.num_variables}"
+    )
+    _print()
+
+    _print("Meta-variable panel (defaults are member averages):")
+    for row in session.meta_variable_panel():
+        _print(
+            f"  {row.name:<10} members={list(row.members)} "
+            f"default={row.default_value:g}"
+        )
+    _print()
+
+    scenario = Scenario(
+        "March discount", "decrease all prices by 20% in March"
+    ).scale(lambda name: name == "m3", 0.8)
+    report = session.assign_scenario(scenario)
+    _print("Scenario: decrease the ppm of all plans by 20% in March (m3 x 0.8)")
+    _print(report.render_text())
+    return 0
+
+
+def run_telephony(args: argparse.Namespace) -> int:
+    """The Section 4 scale experiment."""
+    config = TelephonyConfig(
+        num_customers=args.customers,
+        num_zips=args.zips,
+        months=tuple(range(1, args.months + 1)),
+    )
+    _print(
+        f"Generating telephony provenance: {config.num_zips} zips x "
+        f"{len(config.plans)} plans x {len(config.months)} months "
+        f"({config.num_customers} customers)..."
+    )
+    provenance = generate_revenue_provenance(config)
+    _print(f"Full provenance size: {provenance.size()} monomials")
+    _print()
+
+    session = CobraSession(provenance)
+    session.set_abstraction_trees(plans_tree())
+    for bound in args.bounds:
+        session.set_bound(bound)
+        result = session.compress()
+        report = session.assign()
+        _print(
+            f"bound {bound:>8}: size {result.achieved_size:>8}  "
+            f"cut {sorted(result.cut.nodes)}  "
+            f"speedup {report.speedup_fraction:.0%}"
+        )
+    return 0
+
+
+def run_tpch(args: argparse.Namespace) -> int:
+    """Compress the provenance of the reproduced TPC-H queries."""
+    config = TpchConfig(scale=args.scale)
+    _print(f"Generating TPC-H-style data at scale {args.scale}...")
+    catalog = generate_tpch_catalog(config)
+    _print(
+        "  "
+        + ", ".join(f"{table.name}: {len(table)} rows" for table in catalog)
+    )
+    _print()
+    for item in all_tpch_queries(catalog):
+        session = CobraSession(item.provenance)
+        session.set_abstraction_trees(item.trees)
+        full_size = item.provenance.size()
+        bound = max(1, int(full_size * args.ratio))
+        session.set_bound(bound)
+        result = session.compress(allow_infeasible=True)
+        _print(
+            f"{item.name:<4} size {full_size:>6} -> {result.achieved_size:>6} "
+            f"(bound {bound}, feasible={result.feasible})  "
+            f"vars {result.compression.original_variables} -> "
+            f"{result.num_variables}"
+        )
+    return 0
+
+
+def run_stats(args: argparse.Namespace) -> int:
+    """Describe a provenance JSON file and (optionally) its size profile."""
+    from repro.core.optimizer import compute_size_profile
+    from repro.provenance.statistics import describe_provenance
+
+    provenance = load_provenance_set(args.input)
+    statistics = describe_provenance(provenance)
+    _print("== provenance statistics ==")
+    _print(statistics.render_text())
+
+    if args.tree:
+        tree = AbstractionTree.from_dict(json.loads(Path(args.tree).read_text()))
+        profile = compute_size_profile(provenance, tree)
+        _print("")
+        _print(f"== size profile for tree rooted at {tree.root!r} ==")
+        _print(f"{'variables':>10} {'min size':>10}")
+        for cardinality in sorted(profile):
+            _print(f"{cardinality:>10} {profile[cardinality]:>10}")
+    return 0
+
+
+def run_compress(args: argparse.Namespace) -> int:
+    """Generic compression of provenance + tree read from JSON files."""
+    provenance = load_provenance_set(args.input)
+    tree = AbstractionTree.from_dict(json.loads(Path(args.tree).read_text()))
+
+    session = CobraSession(provenance)
+    session.set_abstraction_trees(tree)
+    session.set_bound(args.bound)
+    result = session.compress(allow_infeasible=args.allow_infeasible)
+
+    _print(f"cut: {sorted(result.cut.nodes) if result.cut else None}")
+    _print(
+        f"size: {result.compression.original_size} -> {result.achieved_size} "
+        f"(bound {args.bound}, feasible={result.feasible})"
+    )
+    _print(
+        f"variables: {result.compression.original_variables} -> "
+        f"{result.num_variables}"
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(provenance_set_to_dict(result.compressed))
+        )
+        _print(f"compressed provenance written to {args.output}")
+    if args.summary:
+        summary = dict(result.summary())
+        summary["abstraction"] = result.abstraction.to_dict()
+        Path(args.summary).write_text(json.dumps(summary, indent=2))
+        _print(f"compression summary written to {args.summary}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``cobra`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cobra",
+        description="COBRA: compression via abstraction of provenance "
+        "for hypothetical reasoning (ICDE 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    demo = subparsers.add_parser("demo", help="run the Figure 1 running example")
+    demo.add_argument("--bound", type=int, default=4, help="monomial bound")
+    demo.set_defaults(func=run_demo)
+
+    telephony = subparsers.add_parser(
+        "telephony", help="run the Section 4 scale experiment"
+    )
+    telephony.add_argument("--customers", type=int, default=50_000)
+    telephony.add_argument("--zips", type=int, default=1_055)
+    telephony.add_argument("--months", type=int, default=12)
+    telephony.add_argument(
+        "--bounds",
+        type=int,
+        nargs="+",
+        default=[94_600, 38_600],
+        help="monomial bounds to try (paper: 94600 and 38600)",
+    )
+    telephony.set_defaults(func=run_telephony)
+
+    tpch = subparsers.add_parser("tpch", help="run the TPC-H workload")
+    tpch.add_argument("--scale", type=float, default=0.001)
+    tpch.add_argument(
+        "--ratio", type=float, default=0.5,
+        help="bound as a fraction of the full provenance size",
+    )
+    tpch.set_defaults(func=run_tpch)
+
+    stats = subparsers.add_parser(
+        "stats", help="describe a provenance JSON file (and its size profile)"
+    )
+    stats.add_argument("--input", required=True, help="provenance JSON file")
+    stats.add_argument("--tree", help="optional tree JSON file for the size profile")
+    stats.set_defaults(func=run_stats)
+
+    compress = subparsers.add_parser(
+        "compress", help="compress provenance JSON under a tree and bound"
+    )
+    compress.add_argument("--input", required=True, help="provenance JSON file")
+    compress.add_argument("--tree", required=True, help="tree JSON file")
+    compress.add_argument("--bound", type=int, required=True)
+    compress.add_argument("--output", help="where to write the compressed provenance")
+    compress.add_argument(
+        "--summary",
+        help="where to write a JSON summary (sizes, chosen cut, abstraction groups)",
+    )
+    compress.add_argument("--allow-infeasible", action="store_true")
+    compress.set_defaults(func=run_compress)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``cobra`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

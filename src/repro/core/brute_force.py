@@ -1,0 +1,96 @@
+"""Exhaustive cut enumeration — the optimality oracle for small trees.
+
+The brute-force optimiser enumerates *every* cut of the tree, applies each
+abstraction for real and keeps the best bound-respecting one.  It is
+exponential in the tree size and exists for two reasons:
+
+* it is the ground truth the property-based tests compare the dynamic
+  program against;
+* it doubles as a baseline in the ablation benchmark (E8) showing why the
+  DP matters even for moderately sized trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import InfeasibleBoundError
+from repro.core.abstraction_tree import AbstractionTree
+from repro.core.compression import ProvenanceLike, _as_provenance_set, apply_abstraction
+from repro.core.cut import Cut, enumerate_cuts
+from repro.core.optimizer import OptimizationResult
+
+
+def optimize_brute_force(
+    provenance: ProvenanceLike,
+    tree: AbstractionTree,
+    bound: int,
+    allow_infeasible: bool = False,
+    max_cuts: int = 200_000,
+) -> OptimizationResult:
+    """Exhaustively search all cuts of ``tree`` for the best feasible abstraction.
+
+    The objective is identical to :func:`repro.core.optimizer.optimize_single_tree`:
+    among cuts whose compressed size is at most ``bound``, maximise the number
+    of cut nodes; ties are broken towards the smaller compressed size.  Unlike
+    the DP, no assumption is made on how many tree variables a monomial
+    contains — sizes are measured by actually applying each abstraction.
+
+    Parameters
+    ----------
+    max_cuts:
+        Safety valve: raise ``ValueError`` if the tree has more cuts than
+        this, instead of silently running for hours.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    provenance_set = _as_provenance_set(provenance)
+
+    best_feasible: Optional[tuple] = None   # (num_vars, -size, cut, compression)
+    best_any: Optional[tuple] = None        # (-size, num_vars, cut, compression)
+
+    examined = 0
+    for cut in enumerate_cuts(tree):
+        examined += 1
+        if examined > max_cuts:
+            raise ValueError(
+                f"tree has more than {max_cuts} cuts; brute force is not "
+                "applicable (use optimize_single_tree or optimize_greedy)"
+            )
+        compression = apply_abstraction(provenance_set, cut)
+        size = compression.compressed_size
+        num_vars = cut.num_variables()
+
+        any_key = (-size, num_vars)
+        if best_any is None or any_key > (best_any[0], best_any[1]):
+            best_any = (-size, num_vars, cut, compression)
+
+        if size <= bound:
+            feasible_key = (num_vars, -size)
+            if best_feasible is None or feasible_key > (
+                best_feasible[0],
+                best_feasible[1],
+            ):
+                best_feasible = (num_vars, -size, cut, compression)
+
+    if best_feasible is not None:
+        _, _, cut, compression = best_feasible
+        feasible = True
+    else:
+        assert best_any is not None  # the tree always has at least one cut
+        smallest_size = -best_any[0]
+        if not allow_infeasible:
+            raise InfeasibleBoundError(bound, smallest_size)
+        _, _, cut, compression = best_any
+        feasible = False
+
+    return OptimizationResult(
+        cut=cut,
+        cuts=(cut,),
+        compression=compression,
+        bound=bound,
+        feasible=feasible,
+        predicted_size=compression.compressed_size,
+        algorithm="brute-force",
+        trace=None,
+    )

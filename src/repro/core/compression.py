@@ -1,0 +1,221 @@
+"""Applying an abstraction to provenance: the compression step itself.
+
+An :class:`Abstraction` is a variable → meta-variable mapping, usually
+induced by one cut per tree of a forest.  Applying it to a polynomial (or a
+whole :class:`~repro.provenance.polynomial.ProvenanceSet`) renames variables
+and merges monomials that become identical, summing their coefficients —
+the mechanism by which provenance shrinks (Example 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import AbstractionError
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.cut import Cut
+
+
+@dataclass(frozen=True)
+class Abstraction:
+    """A variable → meta-variable mapping, with the cuts that induced it.
+
+    Attributes
+    ----------
+    mapping:
+        The renaming applied to provenance variables.  Variables not in the
+        mapping are left untouched.
+    cuts:
+        The cuts (one per abstraction tree) this abstraction was derived
+        from; empty for hand-built abstractions.
+    """
+
+    mapping: Mapping[str, str]
+    cuts: Tuple[Cut, ...] = ()
+
+    @classmethod
+    def identity(cls) -> "Abstraction":
+        """The abstraction that changes nothing."""
+        return cls({})
+
+    @classmethod
+    def from_cut(cls, cut: Cut) -> "Abstraction":
+        """The abstraction induced by a single cut."""
+        return cls(cut.mapping(), (cut,))
+
+    @classmethod
+    def from_cuts(cls, cuts: Sequence[Cut]) -> "Abstraction":
+        """The abstraction induced by one cut per tree of a forest."""
+        mapping: Dict[str, str] = {}
+        for cut in cuts:
+            for leaf, meta in cut.mapping().items():
+                if leaf in mapping and mapping[leaf] != meta:
+                    raise AbstractionError(
+                        f"variable {leaf!r} is mapped to both "
+                        f"{mapping[leaf]!r} and {meta!r}"
+                    )
+                mapping[leaf] = meta
+        return cls(mapping, tuple(cuts))
+
+    @classmethod
+    def from_groups(cls, groups: Mapping[str, Iterable[str]]) -> "Abstraction":
+        """A hand-built abstraction: meta-variable name → variables it replaces."""
+        mapping: Dict[str, str] = {}
+        for meta, variables in groups.items():
+            for variable in variables:
+                if variable in mapping:
+                    raise AbstractionError(
+                        f"variable {variable!r} appears in two groups"
+                    )
+                mapping[variable] = meta
+        return cls(mapping)
+
+    # -- (de)serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation (meta-variable → grouped variables).
+
+        The cut objects are not serialised — only the induced grouping, which
+        is all an analyst-side tool needs to interpret compressed provenance.
+        """
+        return {"groups": {meta: list(members)
+                           for meta, members in self.grouped_variables().items()}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Abstraction":
+        """Rebuild an abstraction from the dictionary produced by :meth:`to_dict`."""
+        groups = data.get("groups")
+        if not isinstance(groups, Mapping):
+            raise AbstractionError("abstraction dictionary must contain 'groups'")
+        return cls.from_groups({str(meta): list(members)
+                                for meta, members in groups.items()})
+
+    # -- inspection ------------------------------------------------------------
+
+    def meta_variables(self) -> Tuple[str, ...]:
+        """The distinct meta-variable names introduced by this abstraction."""
+        return tuple(sorted(set(self.mapping.values())))
+
+    def grouped_variables(self) -> Dict[str, Tuple[str, ...]]:
+        """meta-variable → the original variables it replaces (sorted)."""
+        groups: Dict[str, List[str]] = {}
+        for variable, meta in self.mapping.items():
+            groups.setdefault(meta, []).append(variable)
+        return {meta: tuple(sorted(vs)) for meta, vs in groups.items()}
+
+    def is_identity(self) -> bool:
+        """Whether the abstraction leaves every variable unchanged."""
+        return all(variable == meta for variable, meta in self.mapping.items())
+
+    def degrees_of_freedom(self, variables: Iterable[str]) -> int:
+        """Number of distinct variable names after abstraction, over ``variables``.
+
+        This is the expressiveness measure of the paper restricted to the
+        variables actually appearing in the provenance.
+        """
+        return len({self.mapping.get(v, v) for v in variables})
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """The outcome of applying an abstraction to a provenance set.
+
+    Attributes
+    ----------
+    compressed:
+        The abstracted provenance.
+    abstraction:
+        The abstraction that was applied.
+    original_size / compressed_size:
+        Total number of monomials before and after.
+    original_variables / compressed_variables:
+        Number of distinct variables before and after.
+    """
+
+    compressed: ProvenanceSet
+    abstraction: Abstraction
+    original_size: int
+    compressed_size: int
+    original_variables: int
+    compressed_variables: int
+
+    @property
+    def size_reduction(self) -> int:
+        """How many monomials were removed by the compression."""
+        return self.original_size - self.compressed_size
+
+    @property
+    def compression_ratio(self) -> float:
+        """``compressed_size / original_size`` (1.0 when nothing was gained)."""
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def variable_retention(self) -> float:
+        """``compressed_variables / original_variables`` (1.0 = full freedom kept)."""
+        if self.original_variables == 0:
+            return 1.0
+        return self.compressed_variables / self.original_variables
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline numbers (for reports/benchmarks)."""
+        return {
+            "original_size": self.original_size,
+            "compressed_size": self.compressed_size,
+            "size_reduction": self.size_reduction,
+            "compression_ratio": self.compression_ratio,
+            "original_variables": self.original_variables,
+            "compressed_variables": self.compressed_variables,
+            "variable_retention": self.variable_retention,
+        }
+
+
+ProvenanceLike = Union[Polynomial, ProvenanceSet, Sequence[Polynomial]]
+
+
+def _as_provenance_set(provenance: ProvenanceLike) -> ProvenanceSet:
+    if isinstance(provenance, ProvenanceSet):
+        return provenance
+    if isinstance(provenance, Polynomial):
+        result = ProvenanceSet()
+        result[(0,)] = provenance
+        return result
+    result = ProvenanceSet()
+    for index, polynomial in enumerate(provenance):
+        if not isinstance(polynomial, Polynomial):
+            raise AbstractionError(
+                f"expected Polynomial items, got {type(polynomial).__name__}"
+            )
+        result[(index,)] = polynomial
+    return result
+
+
+def apply_abstraction(
+    provenance: ProvenanceLike,
+    abstraction: "Abstraction | Cut | Mapping[str, str]",
+) -> CompressionResult:
+    """Apply ``abstraction`` to ``provenance`` and return a :class:`CompressionResult`.
+
+    ``provenance`` may be a single polynomial, a sequence of polynomials or a
+    keyed :class:`ProvenanceSet`; ``abstraction`` may be an
+    :class:`Abstraction`, a :class:`~repro.core.cut.Cut` or a bare renaming
+    mapping.
+    """
+    if isinstance(abstraction, Cut):
+        abstraction = Abstraction.from_cut(abstraction)
+    elif isinstance(abstraction, Mapping) and not isinstance(abstraction, Abstraction):
+        abstraction = Abstraction(dict(abstraction))
+
+    provenance_set = _as_provenance_set(provenance)
+    compressed = provenance_set.rename(dict(abstraction.mapping))
+    return CompressionResult(
+        compressed=compressed,
+        abstraction=abstraction,
+        original_size=provenance_set.size(),
+        compressed_size=compressed.size(),
+        original_variables=provenance_set.num_variables(),
+        compressed_variables=compressed.num_variables(),
+    )

@@ -1,0 +1,195 @@
+"""Cuts of an abstraction tree — the representation of an abstraction.
+
+A *cut* is a set of tree nodes such that every leaf has exactly one ancestor
+(or itself) in the set; equivalently, an antichain separating the root from
+all leaves.  Choosing a cut means: for every node in the cut, all of its
+descendant leaves are replaced by a single meta-variable named after the
+node (Example 3/4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.exceptions import InvalidCutError
+from repro.core.abstraction_tree import AbstractionTree
+
+
+class Cut:
+    """A validated cut of an abstraction tree.
+
+    Instances are immutable, hashable and iterable (over the node names in
+    preorder of the tree).  The central operation is :meth:`mapping`, which
+    yields the leaf → meta-variable renaming applied by the abstraction.
+    """
+
+    __slots__ = ("_tree", "_nodes")
+
+    def __init__(self, tree: AbstractionTree, nodes: Iterable[str]) -> None:
+        node_set = frozenset(nodes)
+        if not node_set:
+            raise InvalidCutError("a cut must contain at least one node")
+        for name in node_set:
+            if name not in tree:
+                raise InvalidCutError(f"cut node {name!r} is not in the tree")
+
+        # Each leaf must be covered by exactly one cut node (itself or an
+        # ancestor).  This simultaneously checks coverage and the antichain
+        # property.
+        for leaf in tree.leaves():
+            covering = [
+                name
+                for name in (leaf,) + tree.ancestors(leaf)
+                if name in node_set
+            ]
+            if len(covering) == 0:
+                raise InvalidCutError(f"leaf {leaf!r} is not covered by the cut")
+            if len(covering) > 1:
+                raise InvalidCutError(
+                    f"leaf {leaf!r} is covered by multiple cut nodes: {covering}"
+                )
+
+        # No extraneous nodes: every cut node must cover at least one leaf
+        # (always true in a tree where every node has a leaf descendant) and
+        # must not be a strict ancestor/descendant of another cut node — this
+        # follows from the unique-covering check above, but nodes covering
+        # zero leaves cannot exist in a well-formed tree, so nothing more to do.
+        self._tree = tree
+        self._nodes = node_set
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def of(cls, tree: AbstractionTree, *nodes: str) -> "Cut":
+        """Convenience constructor: ``Cut.of(tree, "Business", "Special", "Standard")``."""
+        return cls(tree, nodes)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def tree(self) -> AbstractionTree:
+        """The tree this cut belongs to."""
+        return self._tree
+
+    @property
+    def nodes(self) -> FrozenSet[str]:
+        """The cut's node names."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[str]:
+        order = {name: index for index, name in enumerate(self._tree.nodes())}
+        return iter(sorted(self._nodes, key=order.get))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cut):
+            return NotImplemented
+        return self._nodes == other._nodes and self._tree is other._tree
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    # -- semantics -----------------------------------------------------------
+
+    def num_variables(self) -> int:
+        """The number of distinct variables the abstraction defines (|cut|)."""
+        return len(self._nodes)
+
+    def mapping(self) -> Dict[str, str]:
+        """The leaf → meta-variable renaming induced by the cut.
+
+        Leaves that are themselves cut nodes map to themselves (no change);
+        other leaves map to their unique covering cut node's name.
+        """
+        result: Dict[str, str] = {}
+        for node in self._nodes:
+            for leaf in self._tree.leaves_under(node):
+                result[leaf] = node
+        return result
+
+    def grouped_leaves(self) -> Dict[str, Tuple[str, ...]]:
+        """For every cut node, the tuple of leaves it abstracts."""
+        return {node: self._tree.leaves_under(node) for node in self._nodes}
+
+    def is_leaf_cut(self) -> bool:
+        """Whether this is the finest cut (every leaf is its own node)."""
+        return self._nodes == frozenset(self._tree.leaves())
+
+    def is_root_cut(self) -> bool:
+        """Whether this is the coarsest cut (only the root)."""
+        return self._nodes == frozenset({self._tree.root})
+
+    def coarsen(self, node: str) -> "Cut":
+        """Return the cut obtained by replacing all cut nodes below ``node`` by ``node``.
+
+        ``node`` must be an ancestor of at least one current cut node (or a
+        current cut node itself, in which case the cut is returned unchanged).
+        """
+        if node not in self._tree:
+            raise InvalidCutError(f"node {node!r} is not in the tree")
+        below = {
+            name
+            for name in self._nodes
+            if name == node or node in self._tree.ancestors(name)
+        }
+        if not below:
+            raise InvalidCutError(
+                f"coarsening at {node!r} would not replace any cut node"
+            )
+        return Cut(self._tree, (self._nodes - below) | {node})
+
+    def __repr__(self) -> str:
+        return f"Cut({sorted(self._nodes)})"
+
+
+def leaf_cut(tree: AbstractionTree) -> Cut:
+    """The finest cut: every leaf is kept as its own variable (no compression)."""
+    return Cut(tree, tree.leaves())
+
+
+def root_cut(tree: AbstractionTree) -> Cut:
+    """The coarsest cut: all leaves collapse into a single meta-variable."""
+    return Cut(tree, [tree.root])
+
+
+def enumerate_cuts(tree: AbstractionTree) -> Iterator[Cut]:
+    """Yield every cut of ``tree`` (exponentially many — small trees only).
+
+    Cuts are produced by a recursive choice at every node: either take the
+    node itself, or recurse into all of its children.
+    """
+
+    def choices(name: str) -> List[FrozenSet[str]]:
+        node = tree.node(name)
+        if node.is_leaf:
+            return [frozenset({name})]
+        result: List[FrozenSet[str]] = [frozenset({name})]
+        child_choices = [choices(child) for child in node.children]
+        combos: List[FrozenSet[str]] = [frozenset()]
+        for options in child_choices:
+            combos = [existing | option for existing in combos for option in options]
+        result.extend(combos)
+        return result
+
+    for nodes in choices(tree.root):
+        yield Cut(tree, nodes)
+
+
+def count_cuts(tree: AbstractionTree) -> int:
+    """The number of distinct cuts of ``tree`` (without materialising them)."""
+
+    def count(name: str) -> int:
+        node = tree.node(name)
+        if node.is_leaf:
+            return 1
+        product = 1
+        for child in node.children:
+            product *= count(child)
+        return 1 + product
+
+    return count(tree.root)

@@ -1,0 +1,123 @@
+"""Default valuations for meta-variables.
+
+When COBRA presents an abstraction to the analyst (Figure 5 of the paper),
+every meta-variable is shown together with the variables it abstracts and a
+*default value* — "average over the abstracted variables' values".  This
+module derives that default valuation, optionally weighting the average by
+how much provenance mass each original variable carries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Union
+
+from repro.exceptions import AbstractionError
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.valuation import Valuation
+from repro.core.compression import Abstraction
+
+Reducer = Union[str, Callable[[Iterable[float]], float]]
+
+
+def _coefficient_mass(provenance: ProvenanceSet) -> Dict[str, float]:
+    """Total absolute coefficient mass carried by each variable."""
+    mass: Dict[str, float] = {}
+    for _key, polynomial in provenance.items():
+        for monomial, coefficient in polynomial.terms():
+            for name, _exponent in monomial:
+                mass[name] = mass.get(name, 0.0) + abs(coefficient)
+    return mass
+
+
+def default_meta_valuation(
+    abstraction: Abstraction,
+    original_valuation: Mapping[str, float],
+    reducer: Reducer = "mean",
+    provenance: Optional[ProvenanceSet] = None,
+    on_missing: str = "error",
+    fallback: float = 1.0,
+) -> Valuation:
+    """Derive the default valuation of the abstracted provenance's variables.
+
+    Parameters
+    ----------
+    abstraction:
+        The abstraction whose meta-variables need default values.
+    original_valuation:
+        The analyst's valuation of the *original* variables.
+    reducer:
+        How to combine the values of the variables grouped under one
+        meta-variable: ``"mean"`` (the paper's default), ``"weighted"``
+        (weighted by each variable's absolute coefficient mass in
+        ``provenance``), or any callable taking the values and returning a
+        float.
+    provenance:
+        Required when ``reducer="weighted"``; ignored otherwise.
+    on_missing:
+        What to do when a grouped variable has no value in
+        ``original_valuation``: ``"error"`` (default) raises, ``"skip"``
+        excludes it from the average — the right choice when the tree
+        mentions variables that never occur in the provenance.
+    fallback:
+        The value used for a meta-variable whose members are all missing
+        (only with ``on_missing="skip"``).
+
+    Returns
+    -------
+    Valuation
+        Covering every meta-variable plus every original variable that the
+        abstraction leaves untouched (so it can be applied directly to the
+        compressed provenance).
+    """
+    if on_missing not in ("error", "skip"):
+        raise AbstractionError(f"unknown on_missing policy {on_missing!r}")
+    grouped = abstraction.grouped_variables()
+
+    weights: Dict[str, float] = {}
+    if reducer == "weighted":
+        if provenance is None:
+            raise AbstractionError(
+                "reducer='weighted' requires the provenance argument"
+            )
+        weights = _coefficient_mass(provenance)
+
+    values: Dict[str, float] = {}
+    for meta, variables in grouped.items():
+        member_values = []
+        member_weights = []
+        for variable in variables:
+            if variable not in original_valuation:
+                if on_missing == "skip":
+                    continue
+                raise AbstractionError(
+                    f"original valuation is missing variable {variable!r} "
+                    f"grouped under {meta!r}"
+                )
+            member_values.append(float(original_valuation[variable]))
+            member_weights.append(weights.get(variable, 0.0))
+        if not member_values:
+            values[meta] = float(fallback)
+            continue
+
+        if callable(reducer):
+            values[meta] = float(reducer(member_values))
+        elif reducer == "mean":
+            values[meta] = sum(member_values) / len(member_values)
+        elif reducer == "weighted":
+            total_weight = sum(member_weights)
+            if total_weight <= 0.0:
+                values[meta] = sum(member_values) / len(member_values)
+            else:
+                values[meta] = (
+                    sum(v * w for v, w in zip(member_values, member_weights))
+                    / total_weight
+                )
+        else:
+            raise AbstractionError(f"unknown reducer {reducer!r}")
+
+    # Variables untouched by the abstraction keep their original values.
+    mapped = set(abstraction.mapping)
+    for name, value in original_valuation.items():
+        if name not in mapped and name not in values:
+            values[name] = float(value)
+    return Valuation(values)

@@ -1,0 +1,154 @@
+"""A greedy coarsening heuristic for abstraction selection.
+
+The greedy optimiser starts from the finest abstraction (every leaf kept as
+its own variable) and repeatedly *coarsens* the current cut at the inner
+node offering the best trade-off — the most monomials saved per variable
+given up — until the size bound is met or every tree has collapsed to its
+root.
+
+Unlike the exact dynamic program it makes no assumption about how many tree
+variables a monomial contains, and it handles forests of several trees, so
+it serves both as the general-case algorithm and as the ablation baseline
+against the exact DP (benchmark E8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.exceptions import InfeasibleBoundError
+from repro.provenance.polynomial import Monomial, ProvenanceSet
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.compression import (
+    Abstraction,
+    ProvenanceLike,
+    _as_provenance_set,
+    apply_abstraction,
+)
+from repro.core.cut import Cut, leaf_cut
+from repro.core.optimizer import OptimizationResult
+
+TreeOrForest = Union[AbstractionTree, AbstractionForest]
+
+
+def _as_forest(trees: TreeOrForest) -> AbstractionForest:
+    if isinstance(trees, AbstractionForest):
+        return trees
+    return AbstractionForest([trees])
+
+
+def _renamed_size(provenance: ProvenanceSet, rename: Dict[str, str]) -> int:
+    """The number of monomials of ``provenance`` after applying ``rename``.
+
+    Only monomials touching a renamed variable are re-keyed; untouched
+    monomials keep their key, and the per-polynomial count is the number of
+    distinct keys.  (Coefficient cancellation is ignored, so this is an upper
+    bound that coincides with the true size in all non-degenerate cases.)
+    """
+    affected = set(rename)
+    total = 0
+    for _key, polynomial in provenance.items():
+        keys: Set[Monomial] = set()
+        for monomial, _coefficient in polynomial.terms():
+            if any(name in affected for name, _ in monomial):
+                keys.add(monomial.rename(rename))
+            else:
+                keys.add(monomial)
+        total += len(keys)
+    return total
+
+
+def optimize_greedy(
+    provenance: ProvenanceLike,
+    trees: TreeOrForest,
+    bound: int,
+    allow_infeasible: bool = False,
+    keep_trace: bool = False,
+) -> OptimizationResult:
+    """Greedily coarsen cuts of ``trees`` until the provenance fits ``bound``.
+
+    At every step the candidate coarsenings are all inner nodes that would
+    actually change some tree's current cut; the candidate with the highest
+    ``monomials saved / variables lost`` ratio is applied (ties prefer fewer
+    variables lost, then deeper nodes).  The search stops as soon as the
+    current size is within the bound.
+
+    Returns an :class:`~repro.core.optimizer.OptimizationResult` with
+    ``algorithm="greedy"``.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    forest = _as_forest(trees)
+    provenance_set = _as_provenance_set(provenance)
+
+    cuts: List[Cut] = [leaf_cut(tree) for tree in forest.trees()]
+    current = provenance_set
+    current_size = provenance_set.size()
+    steps: List[Dict[str, object]] = []
+
+    while current_size > bound:
+        best: Optional[Tuple[float, int, int, int, str, Cut, Dict[str, str], int]] = None
+        for index, tree in enumerate(forest.trees()):
+            cut = cuts[index]
+            for candidate in tree.inner_nodes():
+                if candidate in cut.nodes:
+                    continue
+                replaced = {
+                    name
+                    for name in cut.nodes
+                    if name == candidate or candidate in tree.ancestors(name)
+                }
+                if not replaced:
+                    continue
+                rename = {name: candidate for name in replaced}
+                new_size = _renamed_size(current, rename)
+                saved = current_size - new_size
+                lost = len(replaced) - 1
+                ratio = saved / max(lost, 1)
+                depth = tree.depth(candidate)
+                key = (ratio, -lost, depth)
+                if best is None or key > (best[0], best[1], best[2]):
+                    new_cut = cut.coarsen(candidate)
+                    best = (
+                        ratio,
+                        -lost,
+                        depth,
+                        index,
+                        candidate,
+                        new_cut,
+                        rename,
+                        new_size,
+                    )
+        if best is None:
+            break  # every tree is already at its root cut
+        _, _, _, index, candidate, new_cut, rename, new_size = best
+        cuts[index] = new_cut
+        current = current.rename(rename)
+        steps.append(
+            {
+                "coarsened_at": candidate,
+                "tree": forest.trees()[index].root,
+                "size_before": current_size,
+                "size_after": new_size,
+            }
+        )
+        current_size = new_size
+
+    feasible = current_size <= bound
+    if not feasible and not allow_infeasible:
+        raise InfeasibleBoundError(bound, current_size)
+
+    abstraction = Abstraction.from_cuts(cuts)
+    compression = apply_abstraction(provenance_set, abstraction)
+    single_cut = cuts[0] if len(cuts) == 1 else None
+    trace = {"steps": steps} if keep_trace else None
+    return OptimizationResult(
+        cut=single_cut,
+        cuts=tuple(cuts),
+        compression=compression,
+        bound=bound,
+        feasible=feasible,
+        predicted_size=current_size,
+        algorithm="greedy",
+        trace=trace,
+    )

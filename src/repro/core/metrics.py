@@ -1,0 +1,89 @@
+"""Measures of provenance size, expressiveness and result distortion.
+
+These are the quantities COBRA's UI (and our benchmarks) report: how large
+the provenance is, how many degrees of freedom an abstraction retains, and
+how far the query results computed from the compressed provenance drift from
+those computed from the full provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+ProvenanceLike = Union[Polynomial, ProvenanceSet]
+
+
+def provenance_size(provenance: ProvenanceLike) -> int:
+    """The total number of monomials — the paper's provenance-size measure."""
+    if isinstance(provenance, Polynomial):
+        return provenance.num_monomials()
+    return provenance.size()
+
+
+def num_variables(provenance: ProvenanceLike) -> int:
+    """The number of distinct variables — the paper's expressiveness measure."""
+    if isinstance(provenance, Polynomial):
+        return len(provenance.variables())
+    return provenance.num_variables()
+
+
+def compression_ratio(original: ProvenanceLike, compressed: ProvenanceLike) -> float:
+    """``size(compressed) / size(original)`` (1.0 when nothing was gained)."""
+    original_size = provenance_size(original)
+    if original_size == 0:
+        return 1.0
+    return provenance_size(compressed) / original_size
+
+
+def variable_retention(original: ProvenanceLike, compressed: ProvenanceLike) -> float:
+    """``variables(compressed) / variables(original)``."""
+    original_vars = num_variables(original)
+    if original_vars == 0:
+        return 1.0
+    return num_variables(compressed) / original_vars
+
+
+def result_distortion(
+    full: ProvenanceSet,
+    compressed: ProvenanceSet,
+    full_valuation: Mapping[str, float],
+    compressed_valuation: Mapping[str, float],
+) -> Dict[str, float]:
+    """Compare per-group results of the full and the compressed provenance.
+
+    Both provenance sets are evaluated under their respective valuations
+    (the compressed one typically under the meta-variable defaults of
+    :func:`repro.core.defaults.default_meta_valuation`) and the per-group
+    differences are summarised.
+
+    Returns a dictionary with ``max_abs_error``, ``mean_abs_error``,
+    ``max_rel_error`` and ``mean_rel_error`` (relative errors are measured
+    against the full result, skipping groups whose full result is 0).
+    """
+    full_results = full.evaluate(full_valuation)
+    compressed_results = compressed.evaluate(compressed_valuation)
+
+    abs_errors = []
+    rel_errors = []
+    for key, full_value in full_results.items():
+        compressed_value = compressed_results.get(key, 0.0)
+        error = abs(full_value - compressed_value)
+        abs_errors.append(error)
+        if abs(full_value) > 1e-12:
+            rel_errors.append(error / abs(full_value))
+
+    if not abs_errors:
+        return {
+            "max_abs_error": 0.0,
+            "mean_abs_error": 0.0,
+            "max_rel_error": 0.0,
+            "mean_rel_error": 0.0,
+        }
+    return {
+        "max_abs_error": max(abs_errors),
+        "mean_abs_error": sum(abs_errors) / len(abs_errors),
+        "max_rel_error": max(rel_errors) if rel_errors else 0.0,
+        "mean_rel_error": (sum(rel_errors) / len(rel_errors)) if rel_errors else 0.0,
+    }

@@ -1,0 +1,148 @@
+"""Instrumentation policies: attaching provenance variables to data.
+
+The paper's pipeline starts by "instrumenting the data with symbolic
+variables, either at the cell or tuple level".  Two policies implement the
+two granularities:
+
+* :class:`TupleAnnotationPolicy` — every tuple of a table receives a fresh
+  (or key-derived) variable as its annotation; suitable for "what if this
+  tuple were deleted / duplicated" scenarios.
+* :class:`CellParameterizationPolicy` — a numeric column is multiplied by a
+  product of variables derived from the row, e.g. the plan price becomes
+  ``0.4 · p1 · m1``; this is the multiplicative parameterisation used in the
+  running example ("a distinct parameter m_i to capture the change in
+  month i").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.variables import Variable, VariableRegistry
+from repro.db.table import Table
+
+RowMapping = Mapping[str, object]
+VariableNamer = Callable[[RowMapping], Union[str, Sequence[str]]]
+
+
+@dataclass
+class TupleAnnotationPolicy:
+    """Tuple-level instrumentation.
+
+    Parameters
+    ----------
+    namer:
+        A callable mapping the row dictionary to the variable name annotating
+        that tuple (or to a sequence of names whose product annotates it).
+        If omitted, fresh names ``<table>_t_<n>`` are generated.
+    registry:
+        The registry in which created variables are recorded.
+    """
+
+    namer: Optional[VariableNamer] = None
+    registry: VariableRegistry = field(default_factory=VariableRegistry)
+
+    def annotation_provider(
+        self, table: Table
+    ) -> Callable[[RowMapping], Polynomial]:
+        """Build the row → annotation callable to pass to the executor."""
+        counter = {"value": 0}
+
+        def provider(row: RowMapping) -> Polynomial:
+            if self.namer is None:
+                counter["value"] += 1
+                name = f"{table.name.lower()}_t_{counter['value']}"
+                names: Sequence[str] = (name,)
+            else:
+                named = self.namer(row)
+                names = (named,) if isinstance(named, str) else tuple(named)
+            annotation = Polynomial.one()
+            for name in names:
+                self.registry.declare(name, table=table.name)
+                annotation = annotation * Polynomial.variable(name)
+            return annotation
+
+        return provider
+
+
+@dataclass
+class CellParameterizationPolicy:
+    """Cell-level multiplicative parameterisation of a numeric column.
+
+    Parameters
+    ----------
+    column:
+        The numeric column to parameterise (e.g. ``"Price"``).
+    namer:
+        A callable mapping the row dictionary to the variable name (or names)
+        to multiply into the cell, e.g.
+        ``lambda row: (plan_var[row["Plan"]], f"m{row['Mo']}")``.
+    registry:
+        The registry in which created variables are recorded.
+    """
+
+    column: str
+    namer: VariableNamer = None  # type: ignore[assignment]
+    registry: VariableRegistry = field(default_factory=VariableRegistry)
+
+    def apply(self, table: Table) -> Table:
+        """Return a copy of ``table`` with the column parameterised.
+
+        Each cell value ``v`` becomes the polynomial ``v · x1 · x2 ...`` where
+        the ``xi`` are the variables named by ``namer`` for that row.
+        """
+        if self.namer is None:
+            raise SchemaError(
+                "CellParameterizationPolicy requires a namer callable"
+            )
+        table.schema.column(self.column)
+
+        def parameterise(row: RowMapping):
+            value = row[self.column]
+            if value is None:
+                return None
+            if not isinstance(value, Real):
+                raise SchemaError(
+                    f"cannot parameterise non-numeric cell {value!r} "
+                    f"in column {self.column!r}"
+                )
+            named = self.namer(row)
+            names = (named,) if isinstance(named, str) else tuple(named)
+            factors = {}
+            for name in names:
+                self.registry.declare(
+                    name, table=table.name, column=self.column
+                )
+                factors[name] = factors.get(name, 0) + 1
+            from repro.provenance.monomial import Monomial
+
+            return Polynomial({Monomial(factors): float(value)})
+
+        return table.map_column(self.column, parameterise)
+
+
+InstrumentationPolicy = Union[TupleAnnotationPolicy, CellParameterizationPolicy]
+
+
+def instrument_table(
+    table: Table, policy: InstrumentationPolicy
+) -> Tuple[Table, Optional[Callable[[RowMapping], Polynomial]]]:
+    """Apply an instrumentation policy to ``table``.
+
+    Returns ``(table, annotation_provider)``:
+
+    * for cell-level policies the returned table is a new, parameterised
+      table and the provider is ``None``;
+    * for tuple-level policies the table is returned unchanged and the
+      provider should be passed to :func:`repro.db.executor.execute` under
+      the table's name.
+    """
+    if isinstance(policy, CellParameterizationPolicy):
+        return policy.apply(table), None
+    if isinstance(policy, TupleAnnotationPolicy):
+        return table, policy.annotation_provider(table)
+    raise SchemaError(f"unknown instrumentation policy: {policy!r}")

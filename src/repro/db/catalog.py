@@ -1,0 +1,72 @@
+"""The catalog: a named collection of base tables (a "database instance")."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import SchemaError, UnknownTableError
+from repro.db.table import Table
+
+
+class Catalog:
+    """A mapping from table names to :class:`~repro.db.table.Table` objects.
+
+    The catalog is what queries are executed against; workload generators
+    (telephony, TPC-H) return a populated catalog.
+    """
+
+    def __init__(self, tables: Optional[Dict[str, Table]] = None) -> None:
+        self._tables: Dict[str, Table] = {}
+        for table in (tables or {}).values():
+            self.add(table)
+
+    def add(self, table: Table, replace: bool = False) -> Table:
+        """Register ``table`` under its own name.
+
+        Raises :class:`SchemaError` if a different table is already registered
+        under that name and ``replace`` is false.
+        """
+        if table.name in self._tables and not replace:
+            raise SchemaError(f"table {table.name!r} already exists in the catalog")
+        self._tables[table.name] = table
+        return table
+
+    def create_table(self, name: str, schema, rows=()) -> Table:
+        """Create, register and return a new table."""
+        return self.add(Table(name, schema, rows))
+
+    def get(self, name: str) -> Table:
+        """Return the table named ``name`` (raises :class:`UnknownTableError`)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"unknown table {name!r}; catalog has {sorted(self._tables)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Table:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def names(self) -> Tuple[str, ...]:
+        """All table names, in registration order."""
+        return tuple(self._tables.keys())
+
+    def replace(self, table: Table) -> Table:
+        """Register ``table``, replacing any existing table of the same name."""
+        return self.add(table, replace=True)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (for reporting)."""
+        return sum(len(t) for t in self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={list(self._tables)})"

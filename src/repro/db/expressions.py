@@ -1,0 +1,272 @@
+"""Scalar and boolean expressions over annotated rows.
+
+Expressions are small immutable trees evaluated against a row's value
+mapping.  Scalar expressions may produce numbers, strings **or provenance
+polynomials** (when a referenced cell was instrumented); arithmetic on mixed
+number/polynomial operands works because :class:`~repro.provenance.polynomial.Polynomial`
+implements the numeric operators.
+
+The public helpers :func:`col` and :func:`const` are the intended entry
+points; operators ``+ - * /`` and comparisons ``== != < <= > >=`` on
+expression objects build the tree.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from numbers import Real
+from typing import Callable, Mapping, Tuple
+
+from repro.exceptions import QueryError, UnknownColumnError
+from repro.provenance.polynomial import Polynomial
+
+
+class Expression(ABC):
+    """Base class of all scalar expressions."""
+
+    @abstractmethod
+    def evaluate(self, row: Mapping[str, object]):
+        """Evaluate the expression against ``row`` (a column → value mapping)."""
+
+    @abstractmethod
+    def columns(self) -> Tuple[str, ...]:
+        """All column names referenced by the expression."""
+
+    # -- operator overloading builds larger expressions -----------------------
+
+    def _coerce(self, other) -> "Expression":
+        if isinstance(other, Expression):
+            return other
+        return Const(other)
+
+    def __add__(self, other) -> "BinaryOp":
+        return BinaryOp("+", self, self._coerce(other))
+
+    def __radd__(self, other) -> "BinaryOp":
+        return BinaryOp("+", self._coerce(other), self)
+
+    def __sub__(self, other) -> "BinaryOp":
+        return BinaryOp("-", self, self._coerce(other))
+
+    def __rsub__(self, other) -> "BinaryOp":
+        return BinaryOp("-", self._coerce(other), self)
+
+    def __mul__(self, other) -> "BinaryOp":
+        return BinaryOp("*", self, self._coerce(other))
+
+    def __rmul__(self, other) -> "BinaryOp":
+        return BinaryOp("*", self._coerce(other), self)
+
+    def __truediv__(self, other) -> "BinaryOp":
+        return BinaryOp("/", self, self._coerce(other))
+
+    def __rtruediv__(self, other) -> "BinaryOp":
+        return BinaryOp("/", self._coerce(other), self)
+
+    # Comparisons intentionally return Comparison objects (predicates), not bools.
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison("==", self, self._coerce(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison("!=", self, self._coerce(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, self._coerce(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, self._coerce(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, self._coerce(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, self._coerce(other))
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expression):
+    """A reference to a column of the current row."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, object]):
+        try:
+            return row[self.name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"row has no column {self.name!r}; available: {sorted(row)}"
+            ) from None
+
+    def columns(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expression):
+    """A constant value."""
+
+    value: object
+
+    def evaluate(self, row: Mapping[str, object]):
+        return self.value
+
+    def columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+_ARITHMETIC: Mapping[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expression):
+    """An arithmetic operation over two sub-expressions."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _ARITHMETIC:
+            raise QueryError(f"unsupported arithmetic operator {self.operator!r}")
+
+    def evaluate(self, row: Mapping[str, object]):
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.operator == "/" and isinstance(right, Polynomial):
+            raise QueryError("cannot divide by a symbolic (polynomial) value")
+        return _ARITHMETIC[self.operator](left, right)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+class Predicate(ABC):
+    """Base class of boolean expressions (filters and join conditions)."""
+
+    @abstractmethod
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        """Evaluate the predicate against ``row``."""
+
+    @abstractmethod
+    def columns(self) -> Tuple[str, ...]:
+        """All column names referenced by the predicate."""
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+_COMPARISONS: Mapping[str, Callable[[object, object], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Predicate):
+    """A comparison between two scalar expressions."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARISONS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if isinstance(left, Polynomial) or isinstance(right, Polynomial):
+            raise QueryError(
+                "cannot compare symbolic (polynomial) values in a predicate; "
+                "parameterise only measure columns, not join/filter columns"
+            )
+        return _COMPARISONS[self.operator](left, right)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class And(Predicate):
+    """Logical conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Predicate):
+    """Logical disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.columns() + self.right.columns()))
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Predicate):
+    """Logical negation of a predicate."""
+
+    operand: Predicate
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return not self.operand.evaluate(row)
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+
+def col(name: str) -> ColumnRef:
+    """A reference to column ``name`` of the current row."""
+    return ColumnRef(name)
+
+
+def const(value) -> Const:
+    """A constant scalar expression."""
+    if isinstance(value, Expression):
+        raise QueryError("const() expects a plain value, not an expression")
+    if not isinstance(value, (Real, str, Polynomial)) and value is not None:
+        raise QueryError(f"unsupported constant type: {type(value).__name__}")
+    return Const(value)

@@ -1,0 +1,216 @@
+"""The logical query algebra and its fluent builder.
+
+A query is an immutable tree of logical operators (scan, filter, project,
+join, group-by/aggregate, rename) evaluated by :mod:`repro.db.executor`.
+The fluent :class:`Query` builder constructs the tree; for example the
+running-example revenue query of the paper is::
+
+    Query.scan("Calls")
+        .join(Query.scan("Cust"), on=[("CID", "ID")])
+        .join(Query.scan("Plans"), on=[("Plan", "Plan"), ("Mo", "Mo")])
+        .groupby(["Zip"], aggregates=[("revenue", "sum", col("Dur") * col("Price"))])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import QueryError
+from repro.db.expressions import Expression, Predicate, col
+
+#: The aggregate functions supported by the group-by operator.
+SUPPORTED_AGGREGATES = ("sum", "count", "min", "max", "avg")
+
+AggregateSpec = Tuple[str, str, Optional[Expression]]
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """Base class of logical operator nodes (a marker type)."""
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Scan a base table from the catalog."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    """Keep rows satisfying a predicate."""
+
+    child: LogicalPlan
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Project to a subset of columns (or computed columns)."""
+
+    child: LogicalPlan
+    columns: Tuple[Tuple[str, Expression], ...]
+    #: Whether duplicate rows should be merged (set semantics); under
+    #: provenance semantics merged duplicates have their annotations summed.
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Equi-join of two sub-plans on pairs of columns."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    on: Tuple[Tuple[str, str], ...]
+    #: Optional extra (theta) condition evaluated over the combined row.
+    condition: Optional[Predicate] = None
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalPlan):
+    """Group-by with aggregates.
+
+    ``aggregates`` is a tuple of ``(output_name, function, expression)``;
+    ``expression`` is ignored (may be ``None``) for ``count``.
+    """
+
+    child: LogicalPlan
+    keys: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+
+
+@dataclass(frozen=True)
+class Rename(LogicalPlan):
+    """Rename columns of the child plan."""
+
+    child: LogicalPlan
+    mapping: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class Union(LogicalPlan):
+    """Bag union of two union-compatible sub-plans."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+
+
+class Query:
+    """Fluent builder over :class:`LogicalPlan` trees.
+
+    Instances are immutable; every method returns a new query wrapping a new
+    plan node.  Use :func:`repro.db.executor.execute` to run a query against
+    a catalog.
+    """
+
+    def __init__(self, plan: LogicalPlan) -> None:
+        self._plan = plan
+
+    @property
+    def plan(self) -> LogicalPlan:
+        """The underlying logical plan tree."""
+        return self._plan
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def scan(cls, table: str) -> "Query":
+        """Start a query by scanning base table ``table``."""
+        if not table:
+            raise QueryError("scan() requires a table name")
+        return cls(Scan(table))
+
+    # -- operators ----------------------------------------------------------
+
+    def filter(self, predicate: Predicate) -> "Query":
+        """Keep only rows satisfying ``predicate``."""
+        if not isinstance(predicate, Predicate):
+            raise QueryError("filter() requires a Predicate (e.g. col('a') == 1)")
+        return Query(Filter(self._plan, predicate))
+
+    def project(
+        self,
+        columns: Sequence[Union[str, Tuple[str, Expression]]],
+        distinct: bool = False,
+    ) -> "Query":
+        """Project to ``columns``.
+
+        Each entry is either an existing column name or an
+        ``(output_name, expression)`` pair for a computed column.
+        """
+        if not columns:
+            raise QueryError("project() requires at least one column")
+        normalized: List[Tuple[str, Expression]] = []
+        for entry in columns:
+            if isinstance(entry, str):
+                normalized.append((entry, col(entry)))
+            else:
+                name, expression = entry
+                if not isinstance(expression, Expression):
+                    raise QueryError(
+                        f"projection for {name!r} must be an Expression"
+                    )
+                normalized.append((name, expression))
+        names = [name for name, _ in normalized]
+        if len(names) != len(set(names)):
+            raise QueryError(f"duplicate output columns in projection: {names}")
+        return Query(Project(self._plan, tuple(normalized), distinct=distinct))
+
+    def join(
+        self,
+        other: "Query",
+        on: Sequence[Tuple[str, str]],
+        condition: Optional[Predicate] = None,
+    ) -> "Query":
+        """Equi-join with ``other`` on ``[(left_column, right_column), ...]``."""
+        if not isinstance(other, Query):
+            raise QueryError("join() requires another Query")
+        if not on:
+            raise QueryError("join() requires at least one column pair in 'on'")
+        return Query(Join(self._plan, other._plan, tuple(tuple(p) for p in on), condition))
+
+    def groupby(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> "Query":
+        """Group by ``keys`` and compute ``aggregates``.
+
+        Each aggregate is ``(output_name, function, expression)`` with
+        ``function`` one of ``sum``, ``count``, ``min``, ``max``, ``avg``.
+        """
+        if not aggregates:
+            raise QueryError("groupby() requires at least one aggregate")
+        normalized: List[AggregateSpec] = []
+        for name, function, expression in aggregates:
+            function = function.lower()
+            if function not in SUPPORTED_AGGREGATES:
+                raise QueryError(
+                    f"unsupported aggregate {function!r}; "
+                    f"supported: {SUPPORTED_AGGREGATES}"
+                )
+            if function != "count" and not isinstance(expression, Expression):
+                raise QueryError(
+                    f"aggregate {name!r} ({function}) requires an expression"
+                )
+            normalized.append((name, function, expression))
+        output_names = list(keys) + [name for name, _, _ in normalized]
+        if len(output_names) != len(set(output_names)):
+            raise QueryError(f"duplicate output columns in group-by: {output_names}")
+        return Query(GroupBy(self._plan, tuple(keys), tuple(normalized)))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Query":
+        """Rename columns according to ``mapping`` (old name → new name)."""
+        if not mapping:
+            raise QueryError("rename() requires a non-empty mapping")
+        return Query(Rename(self._plan, tuple(mapping.items())))
+
+    def union(self, other: "Query") -> "Query":
+        """Bag union with a union-compatible query."""
+        if not isinstance(other, Query):
+            raise QueryError("union() requires another Query")
+        return Query(Union(self._plan, other._plan))
+
+    def __repr__(self) -> str:
+        return f"Query({self._plan!r})"

@@ -1,0 +1,202 @@
+"""Schema definitions for the in-memory engine.
+
+A :class:`Schema` is an ordered list of typed :class:`Column` objects.  The
+type system is intentionally small — integers, floats, strings and *symbolic*
+(provenance-polynomial-valued) cells — because that is all the COBRA
+workloads need; symbolic columns are how cell-level parameterisation enters
+the engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from numbers import Real
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError, UnknownColumnError
+from repro.provenance.polynomial import Polynomial
+
+
+class ColumnType(enum.Enum):
+    """The value domain of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    #: A column whose cells are numbers *or* provenance polynomials; used for
+    #: parameterised numeric data such as the plan prices of the running
+    #: example after instrumentation.
+    SYMBOLIC = "symbolic"
+
+    def validate(self, value) -> None:
+        """Raise :class:`SchemaError` if ``value`` does not belong to this domain."""
+        if value is None:
+            return
+        if self is ColumnType.INTEGER:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(f"expected an integer, got {value!r}")
+        elif self is ColumnType.FLOAT:
+            if not isinstance(value, Real) or isinstance(value, bool):
+                raise SchemaError(f"expected a number, got {value!r}")
+        elif self is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected a string, got {value!r}")
+        elif self is ColumnType.SYMBOLIC:
+            if not isinstance(value, (Real, Polynomial)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"expected a number or Polynomial, got {value!r}"
+                )
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType = ColumnType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+class Schema:
+    """An ordered collection of columns with unique names."""
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        names = [c.name for c in self._columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        if not self._columns:
+            raise SchemaError("a schema must have at least one column")
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self._columns)}
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: "str | Tuple[str, ColumnType] | Column") -> "Schema":
+        """Build a schema from column names, ``(name, type)`` pairs or columns.
+
+        Bare names default to :attr:`ColumnType.STRING`.
+        """
+        columns: List[Column] = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            elif isinstance(spec, tuple):
+                name, column_type = spec
+                columns.append(Column(name, column_type))
+            else:
+                columns.append(Column(spec))
+        return cls(columns)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        """The columns, in order."""
+        return self._columns
+
+    def names(self) -> Tuple[str, ...]:
+        """The column names, in order."""
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """The column named ``name`` (raises :class:`UnknownColumnError` if absent)."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise UnknownColumnError(
+                f"unknown column {name!r}; schema has {list(self.names())}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """The positional index of column ``name``."""
+        if name not in self._index:
+            raise UnknownColumnError(
+                f"unknown column {name!r}; schema has {list(self.names())}"
+            )
+        return self._index[name]
+
+    # -- operations -----------------------------------------------------------
+
+    def validate_row(self, values: Sequence) -> None:
+        """Validate a row of positional ``values`` against the column types."""
+        if len(values) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(values)} values but schema has {len(self._columns)} columns"
+            )
+        for column, value in zip(self._columns, values):
+            try:
+                column.type.validate(value)
+            except SchemaError as exc:
+                raise SchemaError(f"column {column.name!r}: {exc}") from None
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A schema containing only ``names`` (in the given order)."""
+        return Schema([self.column(name) for name in names])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """A schema with columns renamed through ``mapping``."""
+        return Schema(
+            [Column(mapping.get(c.name, c.name), c.type) for c in self._columns]
+        )
+
+    def concat(self, other: "Schema", disambiguate: Optional[Tuple[str, str]] = None) -> "Schema":
+        """Concatenate two schemas, optionally prefixing clashing names.
+
+        If ``disambiguate`` is given as ``(left_prefix, right_prefix)``,
+        columns whose names clash are renamed to ``prefix.name`` on both
+        sides; otherwise a clash raises :class:`SchemaError`.
+        """
+        left_names = set(self.names())
+        right_names = set(other.names())
+        clashes = left_names & right_names
+        if clashes and disambiguate is None:
+            raise SchemaError(
+                f"cannot concatenate schemas with overlapping columns: {sorted(clashes)}"
+            )
+        left_cols: List[Column] = []
+        right_cols: List[Column] = []
+        if clashes:
+            left_prefix, right_prefix = disambiguate
+            for column in self._columns:
+                name = (
+                    f"{left_prefix}.{column.name}"
+                    if column.name in clashes
+                    else column.name
+                )
+                left_cols.append(Column(name, column.type))
+            for column in other._columns:
+                name = (
+                    f"{right_prefix}.{column.name}"
+                    if column.name in clashes
+                    else column.name
+                )
+                right_cols.append(Column(name, column.type))
+        else:
+            left_cols = list(self._columns)
+            right_cols = list(other._columns)
+        return Schema(left_cols + right_cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.type.value}" for c in self._columns)
+        return f"Schema({inner})"

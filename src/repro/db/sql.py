@@ -1,0 +1,471 @@
+"""A miniature SQL dialect for the paper's analysis queries.
+
+The demo paper expresses its running example as SQL::
+
+    SELECT Zip, SUM(Calls.Dur * Plans.Price)
+    FROM Calls, Cust, Plans
+    WHERE Cust.Plan = Plans.Plan
+      AND Cust.ID = Calls.CID
+      AND Calls.Mo = Plans.Mo
+    GROUP BY Cust.Zip
+
+:func:`parse_sql` converts exactly this class of statements —
+``SELECT ... FROM t1, t2, ... [WHERE conjunction] [GROUP BY ...]`` with
+aggregates ``SUM/COUNT/MIN/MAX/AVG`` and arithmetic select expressions —
+into a :class:`~repro.db.query.Query`.  Qualified names (``Table.Column``)
+are accepted and stripped to their column part; join conditions are derived
+from the equality predicates between tables in the ``WHERE`` clause, exactly
+as a textbook canonical translation of a conjunctive query would.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SQLParseError
+from repro.db.catalog import Catalog
+from repro.db.expressions import Expression, col, const
+from repro.db.query import Query, SUPPORTED_AGGREGATES
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*|\.\d+|\d+)               |
+    (?P<string>'[^']*')                          |
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*)             |
+    (?P<op><=|>=|<>|!=|=|<|>|\*|/|\+|-|,|\(|\)|\.) |
+    (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "as",
+}
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+
+    def lowered(self) -> str:
+        return self.value.lower()
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SQLParseError(
+                f"unexpected character {sql[position]!r} at position {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[_Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError(f"unexpected end of statement in {self._sql!r}")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.kind != "name" or token.lowered() != keyword:
+            raise SQLParseError(
+                f"expected {keyword.upper()!r}, got {token.value!r}"
+            )
+
+    def _match_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.lowered() == keyword:
+            self._index += 1
+            return True
+        return False
+
+    def _match_op(self, op: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == op:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.value != op:
+            raise SQLParseError(f"expected {op!r}, got {token.value!r}")
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> "_Statement":
+        self._expect_keyword("select")
+        select_items = self._parse_select_list()
+        self._expect_keyword("from")
+        tables = self._parse_table_list()
+        predicates: List[_Predicate] = []
+        if self._match_keyword("where"):
+            predicates = self._parse_where()
+        group_by: List[str] = []
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._parse_column_list()
+        if self._peek() is not None:
+            raise SQLParseError(
+                f"unexpected trailing token {self._peek().value!r} in {self._sql!r}"
+            )
+        return _Statement(select_items, tables, predicates, group_by)
+
+    def _parse_select_list(self) -> List["_SelectItem"]:
+        items = [self._parse_select_item()]
+        while self._match_op(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> "_SelectItem":
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("empty SELECT list")
+        if (
+            token.kind == "name"
+            and token.lowered() in SUPPORTED_AGGREGATES
+            and self._index + 1 < len(self._tokens)
+            and self._tokens[self._index + 1].value == "("
+        ):
+            function = self._advance().lowered()
+            self._expect_op("(")
+            expression: Optional[Expression]
+            if function == "count" and self._peek() is not None and self._peek().value == "*":
+                self._advance()
+                expression = None
+            else:
+                expression = self._parse_expression()
+            self._expect_op(")")
+            alias = self._parse_optional_alias() or function
+            return _SelectItem(alias, expression, function)
+        expression = self._parse_expression()
+        alias = self._parse_optional_alias()
+        if alias is None:
+            alias = _default_alias(expression)
+        return _SelectItem(alias, expression, None)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._match_keyword("as"):
+            token = self._advance()
+            if token.kind != "name":
+                raise SQLParseError(f"expected an alias name, got {token.value!r}")
+            return token.value
+        return None
+
+    def _parse_table_list(self) -> List[str]:
+        tables = [self._parse_name()]
+        while self._match_op(","):
+            tables.append(self._parse_name())
+        return tables
+
+    def _parse_name(self) -> str:
+        token = self._advance()
+        if token.kind != "name" or token.lowered() in _KEYWORDS:
+            raise SQLParseError(f"expected a name, got {token.value!r}")
+        return token.value
+
+    def _parse_column_list(self) -> List[str]:
+        columns = [self._parse_column_ref()]
+        while self._match_op(","):
+            columns.append(self._parse_column_ref())
+        return columns
+
+    def _parse_column_ref(self) -> str:
+        name = self._parse_name()
+        if self._match_op("."):
+            name = self._parse_name()
+        return name
+
+    def _parse_where(self) -> List["_Predicate"]:
+        predicates = [self._parse_comparison()]
+        while self._match_keyword("and"):
+            predicates.append(self._parse_comparison())
+        return predicates
+
+    def _parse_comparison(self) -> "_Predicate":
+        left = self._parse_operand()
+        token = self._advance()
+        if token.kind != "op" or token.value not in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            raise SQLParseError(f"expected a comparison operator, got {token.value!r}")
+        operator = {"=": "==", "<>": "!=", "!=": "!="}.get(token.value, token.value)
+        right = self._parse_operand()
+        return _Predicate(operator, left, right)
+
+    def _parse_operand(self) -> "_Operand":
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement in WHERE clause")
+        if token.kind == "number":
+            self._advance()
+            return _Operand("literal", _to_number(token.value))
+        if token.kind == "string":
+            self._advance()
+            return _Operand("literal", token.value[1:-1])
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            number = self._advance()
+            if number.kind != "number":
+                raise SQLParseError("expected a number after unary '-'")
+            return _Operand("literal", -_to_number(number.value))
+        first = self._parse_name()
+        if self._match_op("."):
+            return _Operand("column", (first, self._parse_name()))
+        return _Operand("column", (None, first))
+
+    # Arithmetic expression grammar: term (('+'|'-') term)*; term: factor (('*'|'/') factor)*.
+    def _parse_expression(self) -> Expression:
+        expression = self._parse_term()
+        while True:
+            if self._match_op("+"):
+                expression = expression + self._parse_term()
+            elif self._match_op("-"):
+                expression = expression - self._parse_term()
+            else:
+                return expression
+
+    def _parse_term(self) -> Expression:
+        expression = self._parse_factor()
+        while True:
+            if self._match_op("*"):
+                expression = expression * self._parse_factor()
+            elif self._match_op("/"):
+                expression = expression / self._parse_factor()
+            else:
+                return expression
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of expression")
+        if token.kind == "number":
+            self._advance()
+            return const(_to_number(token.value))
+        if token.kind == "string":
+            self._advance()
+            return const(token.value[1:-1])
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        name = self._parse_column_ref()
+        return col(name)
+
+
+@dataclass
+class _SelectItem:
+    alias: str
+    expression: Optional[Expression]
+    aggregate: Optional[str]
+
+
+@dataclass
+class _Operand:
+    kind: str  # "column" | "literal"
+    #: For columns the value is a ``(qualifier or None, column name)`` pair;
+    #: for literals it is the literal itself.
+    value: object
+
+    @property
+    def column_name(self) -> str:
+        qualifier, name = self.value  # type: ignore[misc]
+        return name
+
+    @property
+    def qualifier(self) -> Optional[str]:
+        qualifier, _name = self.value  # type: ignore[misc]
+        return qualifier
+
+
+@dataclass
+class _Predicate:
+    operator: str
+    left: _Operand
+    right: _Operand
+
+
+@dataclass
+class _Statement:
+    select: List[_SelectItem]
+    tables: List[str]
+    predicates: List[_Predicate]
+    group_by: List[str]
+
+
+def _default_alias(expression: Expression) -> str:
+    columns = expression.columns()
+    if len(columns) == 1:
+        return columns[0]
+    raise SQLParseError(
+        "computed SELECT expressions need an explicit alias (use AS)"
+    )
+
+
+def _to_number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+
+
+def parse_sql(sql: str, catalog: Catalog) -> Query:
+    """Parse a SQL statement of the supported dialect into a :class:`Query`.
+
+    ``catalog`` is consulted only for the column names of the referenced
+    tables (to resolve which table each equality predicate talks about).
+    """
+    statement = _Parser(_tokenize(sql), sql).parse()
+    if not statement.tables:
+        raise SQLParseError("FROM clause must reference at least one table")
+
+    column_owner: Dict[str, List[str]] = {}
+    for table_name in statement.tables:
+        table = catalog.get(table_name)
+        for name in table.schema.names():
+            column_owner.setdefault(name, []).append(table_name)
+
+    def owner_of(operand: _Operand) -> str:
+        column = operand.column_name
+        qualifier = operand.qualifier
+        owners = column_owner.get(column)
+        if not owners:
+            raise SQLParseError(f"column {column!r} not found in any FROM table")
+        if qualifier is not None:
+            if qualifier not in statement.tables:
+                raise SQLParseError(
+                    f"table {qualifier!r} referenced in WHERE is not in FROM"
+                )
+            if qualifier not in owners:
+                raise SQLParseError(
+                    f"table {qualifier!r} has no column {column!r}"
+                )
+            return qualifier
+        return owners[0]
+
+    # Partition predicates into join conditions (column = column across
+    # tables) and residual filters.
+    join_predicates: List[Tuple[str, str, str, str]] = []
+    filters: List[_Predicate] = []
+    for predicate in statement.predicates:
+        if predicate.left.kind == "column":
+            owner_of(predicate.left)  # validates existence
+        if predicate.right.kind == "column":
+            owner_of(predicate.right)
+        if (
+            predicate.operator == "=="
+            and predicate.left.kind == "column"
+            and predicate.right.kind == "column"
+        ):
+            left_column = predicate.left.column_name
+            right_column = predicate.right.column_name
+            left_table = owner_of(predicate.left)
+            right_table = owner_of(predicate.right)
+            if left_table != right_table:
+                join_predicates.append(
+                    (left_table, left_column, right_table, right_column)
+                )
+                continue
+        filters.append(predicate)
+
+    # Join tables in FROM order, picking up applicable join predicates.
+    joined = {statement.tables[0]}
+    query = Query.scan(statement.tables[0])
+    available_columns = set(catalog.get(statement.tables[0]).schema.names())
+    remaining = list(join_predicates)
+    for table_name in statement.tables[1:]:
+        on: List[Tuple[str, str]] = []
+        still_remaining = []
+        for left_table, left_column, right_table, right_column in remaining:
+            if right_table == table_name and left_table in joined:
+                on.append((left_column, right_column))
+            elif left_table == table_name and right_table in joined:
+                on.append((right_column, left_column))
+            else:
+                still_remaining.append(
+                    (left_table, left_column, right_table, right_column)
+                )
+        remaining = still_remaining
+        if not on:
+            raise SQLParseError(
+                f"no join condition links table {table_name!r} to the "
+                "previously joined tables; cross products are not supported"
+            )
+        query = query.join(Query.scan(table_name), on=on)
+        joined.add(table_name)
+        new_columns = set(catalog.get(table_name).schema.names())
+        dropped = {right for left, right in on if left == right}
+        available_columns |= new_columns - dropped
+    if remaining:
+        raise SQLParseError(
+            "some join predicates could not be applied in FROM order; "
+            "reorder the FROM clause"
+        )
+
+    # Residual filters.
+    for predicate in filters:
+        query = query.filter(_build_filter(predicate))
+
+    aggregates = [item for item in statement.select if item.aggregate is not None]
+    plain = [item for item in statement.select if item.aggregate is None]
+
+    if aggregates:
+        keys = statement.group_by or [item.alias for item in plain]
+        aggregate_specs = []
+        used_names = set(keys)
+        for item in aggregates:
+            alias = item.alias
+            if alias in used_names:
+                alias = f"{alias}_agg"
+            used_names.add(alias)
+            aggregate_specs.append((alias, item.aggregate, item.expression))
+        return query.groupby(keys, aggregate_specs)
+
+    if statement.group_by:
+        raise SQLParseError("GROUP BY without aggregates is not supported")
+    return query.project([(item.alias, item.expression) for item in plain])
+
+
+def _build_filter(predicate: _Predicate):
+    left = (
+        col(predicate.left.column_name)
+        if predicate.left.kind == "column"
+        else const(predicate.left.value)
+    )
+    right = (
+        col(predicate.right.column_name)
+        if predicate.right.kind == "column"
+        else const(predicate.right.value)
+    )
+    from repro.db.expressions import Comparison
+
+    return Comparison(predicate.operator, left, right)

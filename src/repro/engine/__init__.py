@@ -1,0 +1,19 @@
+"""The COBRA engine: sessions, hypothetical scenarios and reports.
+
+This subpackage is the back-end of Figure 4 in the paper: it receives
+provenance polynomials, a bound and abstraction trees, computes an
+abstraction (via :mod:`repro.core`), lets the analyst assign values to the
+meta-variables, and reports the induced query results, the provenance size
+and the assignment speedup relative to the full provenance.
+"""
+
+from repro.engine.scenario import Scenario
+from repro.engine.report import AssignmentReport, MetaVariableInfo
+from repro.engine.session import CobraSession
+
+__all__ = [
+    "Scenario",
+    "AssignmentReport",
+    "MetaVariableInfo",
+    "CobraSession",
+]

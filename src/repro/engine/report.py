@@ -1,0 +1,190 @@
+"""Reports produced by a COBRA session.
+
+Two artefacts mirror what the demo's front-end shows:
+
+* :class:`MetaVariableInfo` — one row of the meta-variable assignment screen
+  (Figure 5): the meta-variable, the original variables it abstracts, their
+  values under the analyst's valuation and the suggested default;
+* :class:`AssignmentReport` — the result screen: per-group query results
+  computed from the full provenance versus the compressed provenance, the
+  provenance sizes, and the assignment speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.timing import SpeedupMeasurement
+
+
+@dataclass(frozen=True)
+class MetaVariableInfo:
+    """One meta-variable of the abstraction, as shown in the assignment screen.
+
+    Attributes
+    ----------
+    name:
+        The meta-variable's name (a cut node of the abstraction tree).
+    members:
+        The original variables it abstracts.
+    member_values:
+        Their values under the analyst's original valuation.
+    default_value:
+        The suggested default (average of ``member_values`` by default).
+    """
+
+    name: str
+    members: Tuple[str, ...]
+    member_values: Tuple[float, ...]
+    default_value: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly rendering."""
+        return {
+            "name": self.name,
+            "members": list(self.members),
+            "member_values": list(self.member_values),
+            "default_value": self.default_value,
+        }
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    """Full-vs-compressed result for one result group (one output tuple)."""
+
+    key: Tuple
+    baseline: float
+    full_result: float
+    compressed_result: float
+
+    @property
+    def absolute_error(self) -> float:
+        """``|full - compressed|``."""
+        return abs(self.full_result - self.compressed_result)
+
+    @property
+    def relative_error(self) -> float:
+        """Absolute error relative to the full result (0 when the full result is 0)."""
+        if abs(self.full_result) < 1e-12:
+            return 0.0
+        return self.absolute_error / abs(self.full_result)
+
+    @property
+    def change_from_baseline(self) -> float:
+        """How much the hypothetical changed the result, per the full provenance."""
+        return self.full_result - self.baseline
+
+
+@dataclass(frozen=True)
+class AssignmentReport:
+    """The outcome of assigning values to (meta-)variables in a session.
+
+    Attributes
+    ----------
+    groups:
+        Per-result-group comparisons of full vs compressed evaluation.
+    full_size / compressed_size:
+        Provenance sizes (number of monomials).
+    full_variables / compressed_variables:
+        Numbers of distinct variables.
+    speedup:
+        Wall-clock assignment-speedup measurement (full vs compressed).
+    """
+
+    groups: Tuple[GroupComparison, ...]
+    full_size: int
+    compressed_size: int
+    full_variables: int
+    compressed_variables: int
+    speedup: Optional[SpeedupMeasurement] = None
+
+    # -- aggregate error measures ------------------------------------------------
+
+    @property
+    def max_absolute_error(self) -> float:
+        """Largest per-group absolute deviation of compressed from full results."""
+        return max((g.absolute_error for g in self.groups), default=0.0)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Mean per-group absolute deviation."""
+        if not self.groups:
+            return 0.0
+        return sum(g.absolute_error for g in self.groups) / len(self.groups)
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest per-group relative deviation."""
+        return max((g.relative_error for g in self.groups), default=0.0)
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean per-group relative deviation."""
+        if not self.groups:
+            return 0.0
+        return sum(g.relative_error for g in self.groups) / len(self.groups)
+
+    @property
+    def compression_ratio(self) -> float:
+        """``compressed_size / full_size``."""
+        if self.full_size == 0:
+            return 1.0
+        return self.compressed_size / self.full_size
+
+    @property
+    def speedup_fraction(self) -> Optional[float]:
+        """The assignment speedup as a fraction (e.g. 0.47 for 47%), if measured."""
+        if self.speedup is None:
+            return None
+        return self.speedup.speedup_fraction
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary of the headline numbers (for benchmarks/JSON)."""
+        return {
+            "groups": len(self.groups),
+            "full_size": self.full_size,
+            "compressed_size": self.compressed_size,
+            "compression_ratio": self.compression_ratio,
+            "full_variables": self.full_variables,
+            "compressed_variables": self.compressed_variables,
+            "max_absolute_error": self.max_absolute_error,
+            "mean_absolute_error": self.mean_absolute_error,
+            "max_relative_error": self.max_relative_error,
+            "mean_relative_error": self.mean_relative_error,
+            "speedup_fraction": self.speedup_fraction,
+        }
+
+    def render_text(self, max_groups: int = 10) -> str:
+        """A human-readable rendering for the CLI (at most ``max_groups`` rows)."""
+        lines: List[str] = []
+        lines.append(
+            f"provenance size: {self.full_size} -> {self.compressed_size} "
+            f"({self.compression_ratio:.1%} of original)"
+        )
+        lines.append(
+            f"variables:       {self.full_variables} -> {self.compressed_variables}"
+        )
+        if self.speedup is not None:
+            lines.append(
+                f"assignment speedup: {self.speedup.speedup_fraction:.0%} "
+                f"({self.speedup.baseline_seconds * 1e3:.2f} ms -> "
+                f"{self.speedup.optimized_seconds * 1e3:.2f} ms)"
+            )
+        lines.append(
+            f"result error: mean {self.mean_relative_error:.2%}, "
+            f"max {self.max_relative_error:.2%} (relative)"
+        )
+        lines.append("")
+        header = f"{'group':<20} {'baseline':>14} {'full':>14} {'compressed':>14} {'diff':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for group in self.groups[:max_groups]:
+            key_text = ", ".join(str(part) for part in group.key)
+            lines.append(
+                f"{key_text:<20} {group.baseline:>14.2f} {group.full_result:>14.2f} "
+                f"{group.compressed_result:>14.2f} {group.absolute_error:>10.2f}"
+            )
+        if len(self.groups) > max_groups:
+            lines.append(f"... ({len(self.groups) - max_groups} more groups)")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Hypothetical scenarios: named, composable modifications of a valuation.
+
+A scenario captures questions such as the ones the paper's analyst asks —
+"what if the price per minute of all plans is decreased by 20% in March?" or
+"what if the business plans' ppm is increased by 10%?" — as a sequence of
+operations over provenance variables.  Scenarios are applied to a valuation
+to produce the valuation encoding the hypothetical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ScenarioError
+from repro.provenance.valuation import Valuation
+
+VariableSelector = Union[str, Sequence[str], Callable[[str], bool]]
+
+
+def _select(selector: VariableSelector, variables: Iterable[str]) -> Tuple[str, ...]:
+    """Resolve a selector against the available variable names."""
+    names = list(variables)
+    if callable(selector):
+        return tuple(name for name in names if selector(name))
+    if isinstance(selector, str):
+        return (selector,) if selector in names else ()
+    wanted = set(selector)
+    return tuple(name for name in names if name in wanted)
+
+
+@dataclass(frozen=True)
+class _Operation:
+    """One scenario step: scale or set the selected variables."""
+
+    kind: str  # "scale" | "set"
+    selector: VariableSelector
+    amount: float
+
+    def apply(self, valuation: Valuation, variables: Iterable[str]) -> Valuation:
+        selected = _select(self.selector, variables)
+        if self.kind == "scale":
+            return valuation.scaled(selected, self.amount)
+        return valuation.updated({name: self.amount for name in selected})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named hypothetical: a sequence of scale/set operations on variables.
+
+    Scenarios are immutable; ``scale``/``set_value`` return extended copies so
+    they can be built fluently::
+
+        march_discount = (
+            Scenario("March discount")
+            .scale(lambda name: name == "m3", 0.8)
+        )
+    """
+
+    name: str
+    description: str = ""
+    operations: Tuple[_Operation, ...] = ()
+
+    def scale(self, selector: VariableSelector, factor: float) -> "Scenario":
+        """Multiply the selected variables' values by ``factor``."""
+        if factor < 0:
+            raise ScenarioError("scale factor must be non-negative")
+        return Scenario(
+            self.name,
+            self.description,
+            self.operations + (_Operation("scale", selector, float(factor)),),
+        )
+
+    def set_value(self, selector: VariableSelector, value: float) -> "Scenario":
+        """Set the selected variables' values to ``value``."""
+        return Scenario(
+            self.name,
+            self.description,
+            self.operations + (_Operation("set", selector, float(value)),),
+        )
+
+    def apply(
+        self, valuation: Valuation, variables: Optional[Iterable[str]] = None
+    ) -> Valuation:
+        """Apply the scenario to ``valuation``.
+
+        ``variables`` restricts which names the selectors may touch; by
+        default the valuation's own variables are used.
+        """
+        if not isinstance(valuation, Valuation):
+            valuation = Valuation(valuation)
+        names = list(variables) if variables is not None else list(valuation)
+        result = valuation
+        for operation in self.operations:
+            result = operation.apply(result, names)
+        return result
+
+    def affected_variables(self, variables: Iterable[str]) -> Tuple[str, ...]:
+        """The subset of ``variables`` touched by at least one operation."""
+        names = list(variables)
+        touched: List[str] = []
+        for operation in self.operations:
+            for name in _select(operation.selector, names):
+                if name not in touched:
+                    touched.append(name)
+        return tuple(touched)
+
+    def __repr__(self) -> str:
+        return f"Scenario({self.name!r}, operations={len(self.operations)})"

@@ -1,0 +1,352 @@
+"""The COBRA session: the back-end workflow of Figure 4.
+
+A :class:`CobraSession` walks through exactly the steps the demo walks its
+audience through:
+
+1. load provenance polynomials (from any provenance engine) together with
+   the analyst's valuation of the provenance variables;
+2. set an abstraction tree (or forest) and a bound on the provenance size;
+3. :meth:`compress` — compute the optimal abstraction under the bound;
+4. inspect the meta-variables and their default values
+   (:meth:`meta_variable_panel`, Figure 5);
+5. :meth:`assign` values to the meta-variables (or accept the defaults) and
+   receive an :class:`~repro.engine.report.AssignmentReport` comparing the
+   results from the compressed provenance with those from the full
+   provenance, together with the provenance sizes and the assignment
+   speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SessionStateError
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.valuation import (
+    CompiledProvenanceSet,
+    Valuation,
+)
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.compression import Abstraction
+from repro.core.defaults import default_meta_valuation
+from repro.core.multi_tree import optimize_forest
+from repro.core.optimizer import OptimizationResult
+from repro.engine.report import AssignmentReport, GroupComparison, MetaVariableInfo
+from repro.engine.scenario import Scenario
+from repro.utils.timing import measure_speedup
+
+TreeOrForest = Union[AbstractionTree, AbstractionForest]
+
+
+class CobraSession:
+    """One analyst's interaction with COBRA over a fixed provenance input.
+
+    Parameters
+    ----------
+    provenance:
+        The full provenance polynomials, keyed by result group.
+    base_valuation:
+        The analyst's valuation of the provenance variables.  The all-ones
+        valuation (the default) reproduces the original query results.
+    """
+
+    def __init__(
+        self,
+        provenance: ProvenanceSet,
+        base_valuation: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if not isinstance(provenance, ProvenanceSet):
+            raise SessionStateError(
+                "CobraSession expects a ProvenanceSet; use "
+                "repro.db.to_provenance_set or the workload generators"
+            )
+        self._provenance = provenance
+        if base_valuation is None:
+            self._base_valuation = Valuation.identity_for(provenance)
+        else:
+            self._base_valuation = Valuation(dict(base_valuation))
+        missing = self._base_valuation.missing(provenance.variables())
+        if missing:
+            # Unassigned variables default to 1.0 (no change), mirroring the
+            # demo's behaviour of starting from the original query result.
+            self._base_valuation = self._base_valuation.updated(
+                {name: 1.0 for name in missing}
+            )
+
+        self._trees: Optional[AbstractionForest] = None
+        self._bound: Optional[int] = None
+        self._optimization: Optional[OptimizationResult] = None
+        self._compiled_full: Optional[CompiledProvenanceSet] = None
+        self._compiled_compressed: Optional[CompiledProvenanceSet] = None
+
+    # -- step 1: the input ----------------------------------------------------
+
+    @property
+    def provenance(self) -> ProvenanceSet:
+        """The full (uncompressed) provenance."""
+        return self._provenance
+
+    @property
+    def base_valuation(self) -> Valuation:
+        """The analyst's valuation of the original provenance variables."""
+        return self._base_valuation
+
+    def initial_results(self) -> Dict[Tuple, float]:
+        """The query results under the base valuation (the demo's first screen)."""
+        return self._provenance.evaluate(self._base_valuation)
+
+    # -- step 2: tree and bound ---------------------------------------------------
+
+    def set_abstraction_trees(self, trees: TreeOrForest) -> None:
+        """Set the abstraction tree or forest guiding the compression."""
+        if isinstance(trees, AbstractionTree):
+            trees = AbstractionForest([trees])
+        self._trees = trees
+        self._optimization = None
+        self._compiled_compressed = None
+
+    def set_bound(self, bound: int) -> None:
+        """Set the bound on the number of monomials of the compressed provenance."""
+        if bound < 0:
+            raise SessionStateError("the bound must be non-negative")
+        self._bound = int(bound)
+        self._optimization = None
+        self._compiled_compressed = None
+
+    @property
+    def bound(self) -> Optional[int]:
+        """The current bound (``None`` until :meth:`set_bound` is called)."""
+        return self._bound
+
+    # -- step 3: compression ------------------------------------------------------
+
+    def compress(
+        self,
+        method: str = "auto",
+        allow_infeasible: bool = False,
+        keep_trace: bool = False,
+    ) -> OptimizationResult:
+        """Compute the optimal abstraction for the configured trees and bound."""
+        if self._trees is None:
+            raise SessionStateError("call set_abstraction_trees() before compress()")
+        if self._bound is None:
+            raise SessionStateError("call set_bound() before compress()")
+        self._optimization = optimize_forest(
+            self._provenance,
+            self._trees,
+            self._bound,
+            method=method,
+            allow_infeasible=allow_infeasible,
+            keep_trace=keep_trace,
+        )
+        self._compiled_compressed = None
+        return self._optimization
+
+    @property
+    def optimization(self) -> OptimizationResult:
+        """The result of the last :meth:`compress` call."""
+        if self._optimization is None:
+            raise SessionStateError("no abstraction computed yet; call compress()")
+        return self._optimization
+
+    @property
+    def abstraction(self) -> Abstraction:
+        """The abstraction chosen by the last :meth:`compress` call."""
+        return self.optimization.abstraction
+
+    @property
+    def compressed_provenance(self) -> ProvenanceSet:
+        """The compressed provenance of the last :meth:`compress` call."""
+        return self.optimization.compressed
+
+    # -- step 4: the meta-variable panel -------------------------------------------
+
+    def default_valuation(self, reducer: str = "mean") -> Valuation:
+        """The default valuation of the compressed provenance's variables.
+
+        Tree leaves that never occur in the provenance are excluded from the
+        averages (``on_missing="skip"``), so a meta-variable's default is the
+        average of the values its *occurring* members take under the base
+        valuation — exactly the number the demo's assignment screen shows.
+        """
+        return default_meta_valuation(
+            self.abstraction,
+            self._base_valuation,
+            reducer=reducer,
+            provenance=self._provenance,
+            on_missing="skip",
+        )
+
+    def meta_variable_panel(self, reducer: str = "mean") -> Tuple[MetaVariableInfo, ...]:
+        """The rows of the meta-variable assignment screen (Figure 5)."""
+        abstraction = self.abstraction
+        defaults = self.default_valuation(reducer=reducer)
+        rows = []
+        for meta, members in sorted(abstraction.grouped_variables().items()):
+            member_values = tuple(
+                float(self._base_valuation.get(member, 1.0)) for member in members
+            )
+            rows.append(
+                MetaVariableInfo(
+                    name=meta,
+                    members=members,
+                    member_values=member_values,
+                    default_value=float(defaults[meta]),
+                )
+            )
+        return tuple(rows)
+
+    # -- step 5: assignment and comparison -------------------------------------------
+
+    def _compiled(self) -> Tuple[CompiledProvenanceSet, CompiledProvenanceSet]:
+        if self._compiled_full is None:
+            self._compiled_full = CompiledProvenanceSet(self._provenance)
+        if self._compiled_compressed is None:
+            self._compiled_compressed = CompiledProvenanceSet(
+                self.compressed_provenance
+            )
+        return self._compiled_full, self._compiled_compressed
+
+    def assign(
+        self,
+        meta_changes: Optional[Mapping[str, float]] = None,
+        full_valuation: Optional[Mapping[str, float]] = None,
+        measure_assignment_speedup: bool = True,
+        speedup_repeats: int = 3,
+    ) -> AssignmentReport:
+        """Assign values to the meta-variables and compare against the full provenance.
+
+        Parameters
+        ----------
+        meta_changes:
+            Values for (a subset of) the meta-variables; unspecified
+            meta-variables take their default value (average of their
+            members), and untouched original variables keep their base value.
+        full_valuation:
+            The valuation of the *original* variables representing the same
+            hypothetical, used to evaluate the full provenance.  Defaults to
+            the base valuation, which corresponds to the analyst accepting
+            the original scenario.
+        measure_assignment_speedup:
+            Also time the two evaluations (via the compiled evaluators) and
+            report the speedup, as the demo does.
+        """
+        full_value_map = (
+            Valuation(dict(full_valuation))
+            if full_valuation is not None
+            else self._base_valuation
+        )
+        missing = full_value_map.missing(self._provenance.variables())
+        if missing:
+            full_value_map = full_value_map.updated({name: 1.0 for name in missing})
+
+        meta_valuation = default_meta_valuation(
+            self.abstraction,
+            full_value_map,
+            reducer="mean",
+            on_missing="skip",
+        )
+        if meta_changes:
+            meta_valuation = meta_valuation.updated(dict(meta_changes))
+        compressed_missing = meta_valuation.missing(
+            self.compressed_provenance.variables()
+        )
+        if compressed_missing:
+            meta_valuation = meta_valuation.updated(
+                {name: 1.0 for name in compressed_missing}
+            )
+
+        compiled_full, compiled_compressed = self._compiled()
+        baseline_results = compiled_full.evaluate(self._base_valuation)
+        full_results = compiled_full.evaluate(full_value_map)
+        compressed_results = compiled_compressed.evaluate(meta_valuation)
+
+        groups = tuple(
+            GroupComparison(
+                key=key,
+                baseline=baseline_results[key],
+                full_result=full_results[key],
+                compressed_result=compressed_results.get(key, 0.0),
+            )
+            for key in self._provenance.keys()
+        )
+
+        speedup = None
+        if measure_assignment_speedup:
+            speedup = measure_speedup(
+                lambda: compiled_full.evaluate_vector(full_value_map),
+                lambda: compiled_compressed.evaluate_vector(meta_valuation),
+                repeats=speedup_repeats,
+            )
+
+        return AssignmentReport(
+            groups=groups,
+            full_size=self._provenance.size(),
+            compressed_size=self.compressed_provenance.size(),
+            full_variables=self._provenance.num_variables(),
+            compressed_variables=self.compressed_provenance.num_variables(),
+            speedup=speedup,
+        )
+
+    def assign_scenario(
+        self,
+        scenario: Scenario,
+        measure_assignment_speedup: bool = True,
+    ) -> AssignmentReport:
+        """Apply a :class:`~repro.engine.scenario.Scenario` and compare results.
+
+        The scenario is applied to the original variables to obtain the full
+        valuation; the corresponding meta-variable values are derived as the
+        average of their members' scenario values (the demo's default), which
+        is exact whenever the scenario treats all members of a group alike.
+        """
+        full_valuation = scenario.apply(
+            self._base_valuation, self._provenance.variables()
+        )
+        return self.assign(
+            meta_changes=None,
+            full_valuation=full_valuation,
+            measure_assignment_speedup=measure_assignment_speedup,
+        )
+
+    def compare_scenarios(
+        self,
+        scenarios: Sequence[Scenario],
+        measure_assignment_speedup: bool = False,
+    ) -> Dict[str, AssignmentReport]:
+        """Run several hypothetical scenarios and return one report per scenario.
+
+        This is the batch form of :meth:`assign_scenario`, matching the
+        analyst workflow of examining a handful of candidate what-ifs side by
+        side (scenario name → report).
+        """
+        reports: Dict[str, AssignmentReport] = {}
+        for scenario in scenarios:
+            reports[scenario.name] = self.assign_scenario(
+                scenario, measure_assignment_speedup=measure_assignment_speedup
+            )
+        return reports
+
+    # -- "under the hood" -----------------------------------------------------------
+
+    def size_profile(self) -> Dict[int, int]:
+        """The size/expressiveness Pareto frontier of the configured tree.
+
+        Maps every achievable number of meta-variables to the smallest
+        provenance size any cut of that cardinality can reach — the curve the
+        meta-analyst consults before picking a bound.  Only available for a
+        single abstraction tree satisfying the single-tree precondition.
+        """
+        from repro.core.optimizer import compute_size_profile
+
+        if self._trees is None:
+            raise SessionStateError("call set_abstraction_trees() first")
+        if len(self._trees) != 1:
+            raise SessionStateError(
+                "size_profile() is only defined for a single abstraction tree"
+            )
+        return compute_size_profile(self._provenance, self._trees.trees()[0])
+
+    def trace(self) -> Optional[Dict]:
+        """The optimizer's intermediate results, if ``compress(keep_trace=True)``."""
+        return self.optimization.trace

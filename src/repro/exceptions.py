@@ -1,0 +1,138 @@
+"""Exception hierarchy for the COBRA reproduction.
+
+Every error raised intentionally by this package derives from
+:class:`CobraError`, so callers can catch a single exception type at API
+boundaries.  Sub-hierarchies mirror the package layout: provenance-level
+errors, database-engine errors, abstraction/compression errors, and
+engine/session errors.
+"""
+
+from __future__ import annotations
+
+
+class CobraError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Provenance layer
+# ---------------------------------------------------------------------------
+
+
+class ProvenanceError(CobraError):
+    """Base class for errors in the provenance substrate."""
+
+
+class InvalidVariableNameError(ProvenanceError):
+    """Raised when a provenance variable name is empty or malformed."""
+
+
+class InvalidMonomialError(ProvenanceError):
+    """Raised when constructing a monomial from invalid exponents."""
+
+
+class InvalidPolynomialError(ProvenanceError):
+    """Raised when constructing a polynomial from invalid terms."""
+
+
+class PolynomialParseError(ProvenanceError):
+    """Raised when a textual polynomial cannot be parsed."""
+
+
+class MissingValuationError(ProvenanceError):
+    """Raised when evaluating a polynomial under an incomplete valuation."""
+
+    def __init__(self, missing):
+        self.missing = tuple(sorted(missing))
+        super().__init__(
+            "valuation does not cover variables: " + ", ".join(self.missing)
+        )
+
+
+class SemiringError(ProvenanceError):
+    """Raised for misuse of the semiring framework."""
+
+
+# ---------------------------------------------------------------------------
+# Database engine
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(CobraError):
+    """Base class for errors in the in-memory database engine."""
+
+
+class SchemaError(DatabaseError):
+    """Raised when a schema definition or a row violates the schema."""
+
+
+class UnknownTableError(DatabaseError):
+    """Raised when referencing a table that is not in the catalog."""
+
+
+class UnknownColumnError(DatabaseError):
+    """Raised when referencing a column that does not exist."""
+
+
+class QueryError(DatabaseError):
+    """Raised when a logical query is malformed."""
+
+
+class SQLParseError(DatabaseError):
+    """Raised when the miniature SQL dialect cannot parse a statement."""
+
+
+# ---------------------------------------------------------------------------
+# Abstraction / compression core
+# ---------------------------------------------------------------------------
+
+
+class AbstractionError(CobraError):
+    """Base class for abstraction-tree and compression errors."""
+
+
+class InvalidTreeError(AbstractionError):
+    """Raised when an abstraction tree is structurally invalid."""
+
+
+class InvalidCutError(AbstractionError):
+    """Raised when a set of nodes is not a valid cut of the tree."""
+
+
+class InfeasibleBoundError(AbstractionError):
+    """Raised when no cut can satisfy the requested size bound."""
+
+    def __init__(self, bound, best_achievable):
+        self.bound = bound
+        self.best_achievable = best_achievable
+        super().__init__(
+            f"no abstraction satisfies bound {bound}; the coarsest "
+            f"abstraction still has {best_achievable} monomials"
+        )
+
+
+class UnsupportedPolynomialError(AbstractionError):
+    """Raised when the exact optimizer's preconditions do not hold.
+
+    The single-tree dynamic program requires every monomial to contain at
+    most one variable from the abstraction tree (the setting described in
+    the demo paper).  Polynomials that violate this precondition can still
+    be compressed with :mod:`repro.core.greedy`.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Engine / session layer
+# ---------------------------------------------------------------------------
+
+
+class EngineError(CobraError):
+    """Base class for errors in the COBRA session engine."""
+
+
+class SessionStateError(EngineError):
+    """Raised when session operations are invoked out of order."""
+
+
+class ScenarioError(EngineError):
+    """Raised when a hypothetical scenario is malformed."""

@@ -1,0 +1,60 @@
+"""Provenance substrate: symbolic polynomials, semirings and valuations.
+
+This subpackage implements the provenance model COBRA consumes:
+
+* :mod:`repro.provenance.variables` — provenance variables and registries;
+* :mod:`repro.provenance.monomial` — products of variables with exponents;
+* :mod:`repro.provenance.polynomial` — N[X]-style provenance polynomials and
+  multisets of polynomials (one per query-result tuple/group);
+* :mod:`repro.provenance.semiring` — the generic commutative-semiring
+  framework of Green et al. (PODS 2007) together with standard instances;
+* :mod:`repro.provenance.semimodule` — aggregate provenance in the spirit of
+  Amsterdamer et al. (PODS 2011), producing symbolic aggregate expressions;
+* :mod:`repro.provenance.valuation` — assignments of values to variables and
+  fast (vectorised) evaluation of polynomials under them;
+* :mod:`repro.provenance.parser` — a text format for polynomials;
+* :mod:`repro.provenance.serialization` — JSON round-tripping.
+"""
+
+from repro.provenance.variables import Variable, VariableRegistry
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import Valuation, CompiledPolynomial, CompiledProvenanceSet
+from repro.provenance.parser import parse_polynomial, format_polynomial
+from repro.provenance.semiring import (
+    Semiring,
+    BooleanSemiring,
+    CountingSemiring,
+    TropicalSemiring,
+    WhySemiring,
+    LineageSemiring,
+    PolynomialSemiring,
+    evaluate_in_semiring,
+)
+from repro.provenance.semimodule import AggregateTerm, AggregateExpression
+from repro.provenance.statistics import ProvenanceStatistics, describe_provenance
+
+__all__ = [
+    "Variable",
+    "VariableRegistry",
+    "Monomial",
+    "Polynomial",
+    "ProvenanceSet",
+    "Valuation",
+    "CompiledPolynomial",
+    "CompiledProvenanceSet",
+    "parse_polynomial",
+    "format_polynomial",
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "TropicalSemiring",
+    "WhySemiring",
+    "LineageSemiring",
+    "PolynomialSemiring",
+    "evaluate_in_semiring",
+    "AggregateTerm",
+    "AggregateExpression",
+    "ProvenanceStatistics",
+    "describe_provenance",
+]

@@ -1,0 +1,268 @@
+"""The commutative-semiring framework of provenance semirings (PODS 2007).
+
+Provenance polynomials in N[X] are the most general (universal) commutative
+semiring over a variable set X: any valuation of the variables into another
+commutative semiring extends uniquely to a semiring homomorphism from N[X].
+This module provides:
+
+* an abstract :class:`Semiring` interface;
+* the standard instances used in the provenance literature — Boolean
+  (set/bag distinction collapse), counting (bag semantics), tropical
+  (min-cost), Why-provenance (witness sets) and Lineage (variable sets) —
+  plus :class:`PolynomialSemiring`, i.e. N[X] itself;
+* :func:`evaluate_in_semiring`, the homomorphic evaluation of an N[X]
+  polynomial into any target semiring, which is the formal statement of the
+  commutation-with-valuation property the paper relies on for correctness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, FrozenSet, Generic, Mapping, Optional, TypeVar
+
+from repro.exceptions import MissingValuationError, SemiringError
+from repro.provenance.polynomial import Polynomial
+
+T = TypeVar("T")
+
+
+class Semiring(ABC, Generic[T]):
+    """A commutative semiring ``(K, +, *, 0, 1)``.
+
+    Subclasses provide the two operations and the two constants; the generic
+    helpers implement n-ary sums/products and integer scaling/powering on top.
+    """
+
+    @property
+    @abstractmethod
+    def zero(self) -> T:
+        """The additive identity."""
+
+    @property
+    @abstractmethod
+    def one(self) -> T:
+        """The multiplicative identity."""
+
+    @abstractmethod
+    def add(self, a: T, b: T) -> T:
+        """The commutative, associative addition with identity :attr:`zero`."""
+
+    @abstractmethod
+    def multiply(self, a: T, b: T) -> T:
+        """The commutative, associative multiplication with identity :attr:`one`."""
+
+    # -- derived helpers ----------------------------------------------------
+
+    def sum(self, values) -> T:
+        """Fold :meth:`add` over an iterable (``zero`` for an empty one)."""
+        result = self.zero
+        for value in values:
+            result = self.add(result, value)
+        return result
+
+    def product(self, values) -> T:
+        """Fold :meth:`multiply` over an iterable (``one`` for an empty one)."""
+        result = self.one
+        for value in values:
+            result = self.multiply(result, value)
+        return result
+
+    def scale(self, value: T, times: int) -> T:
+        """Add ``value`` to itself ``times`` times (``times`` must be >= 0)."""
+        if times < 0:
+            raise SemiringError("cannot scale by a negative integer in a semiring")
+        result = self.zero
+        for _ in range(times):
+            result = self.add(result, value)
+        return result
+
+    def power(self, value: T, exponent: int) -> T:
+        """Multiply ``value`` by itself ``exponent`` times (``exponent`` >= 0)."""
+        if exponent < 0:
+            raise SemiringError("cannot raise to a negative power in a semiring")
+        result = self.one
+        for _ in range(exponent):
+            result = self.multiply(result, value)
+        return result
+
+    def name(self) -> str:
+        """Human-readable name of the semiring."""
+        return type(self).__name__
+
+
+class BooleanSemiring(Semiring[bool]):
+    """The Boolean semiring ``({False, True}, or, and)`` — "does the tuple exist"."""
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return bool(a) or bool(b)
+
+    def multiply(self, a: bool, b: bool) -> bool:
+        return bool(a) and bool(b)
+
+
+class CountingSemiring(Semiring[float]):
+    """The numeric semiring ``(R, +, *)`` used for bag semantics and valuations."""
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, a: float, b: float) -> float:
+        return float(a) + float(b)
+
+    def multiply(self, a: float, b: float) -> float:
+        return float(a) * float(b)
+
+
+class TropicalSemiring(Semiring[float]):
+    """The tropical (min, +) semiring — minimum-cost provenance."""
+
+    @property
+    def zero(self) -> float:
+        return float("inf")
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return min(float(a), float(b))
+
+    def multiply(self, a: float, b: float) -> float:
+        return float(a) + float(b)
+
+
+class WhySemiring(Semiring[FrozenSet[FrozenSet[str]]]):
+    """Why-provenance: sets of witness sets of variable names."""
+
+    @property
+    def zero(self) -> FrozenSet[FrozenSet[str]]:
+        return frozenset()
+
+    @property
+    def one(self) -> FrozenSet[FrozenSet[str]]:
+        return frozenset({frozenset()})
+
+    def add(
+        self, a: FrozenSet[FrozenSet[str]], b: FrozenSet[FrozenSet[str]]
+    ) -> FrozenSet[FrozenSet[str]]:
+        return frozenset(a) | frozenset(b)
+
+    def multiply(
+        self, a: FrozenSet[FrozenSet[str]], b: FrozenSet[FrozenSet[str]]
+    ) -> FrozenSet[FrozenSet[str]]:
+        return frozenset(
+            witness_a | witness_b for witness_a in a for witness_b in b
+        )
+
+    @staticmethod
+    def of(*names: str) -> FrozenSet[FrozenSet[str]]:
+        """The singleton witness set ``{{names...}}`` (convenience for tests)."""
+        return frozenset({frozenset(names)})
+
+
+class LineageSemiring(Semiring[Optional[FrozenSet[str]]]):
+    """Lineage: the flat set of variables contributing to a result.
+
+    Following the standard construction, the carrier is ``P(X) ∪ {⊥}`` where
+    ``⊥`` (represented as ``None``) is the annihilating zero; both addition
+    and multiplication are set union on non-⊥ elements.
+    """
+
+    @property
+    def zero(self) -> Optional[FrozenSet[str]]:
+        return None
+
+    @property
+    def one(self) -> Optional[FrozenSet[str]]:
+        return frozenset()
+
+    def add(
+        self, a: Optional[FrozenSet[str]], b: Optional[FrozenSet[str]]
+    ) -> Optional[FrozenSet[str]]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return frozenset(a) | frozenset(b)
+
+    def multiply(
+        self, a: Optional[FrozenSet[str]], b: Optional[FrozenSet[str]]
+    ) -> Optional[FrozenSet[str]]:
+        if a is None or b is None:
+            return None
+        return frozenset(a) | frozenset(b)
+
+
+class PolynomialSemiring(Semiring[Polynomial]):
+    """N[X] itself: provenance polynomials form a commutative semiring."""
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a + b
+
+    def multiply(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a * b
+
+
+def evaluate_in_semiring(
+    polynomial: Polynomial,
+    semiring: Semiring[T],
+    valuation: Mapping[str, T],
+    coefficient_embedding: Callable[[float], T] | None = None,
+) -> T:
+    """Homomorphically evaluate an N[X] polynomial in a target semiring.
+
+    Every variable is replaced by its image under ``valuation`` and the
+    polynomial structure is re-interpreted with the target semiring's
+    operations.  Integer coefficients are mapped via repeated addition of
+    ``one`` unless a ``coefficient_embedding`` is supplied (needed for
+    non-integer coefficients, e.g. in the counting semiring, where the
+    identity embedding should be used).
+
+    Raises
+    ------
+    MissingValuationError
+        If the valuation does not cover all variables of the polynomial.
+    SemiringError
+        If a non-integer coefficient is found and no embedding is given.
+    """
+    missing = [name for name in polynomial.variables() if name not in valuation]
+    if missing:
+        raise MissingValuationError(missing)
+
+    total = semiring.zero
+    for monomial, coefficient in polynomial.terms():
+        term = semiring.one
+        for name, exponent in monomial:
+            term = semiring.multiply(term, semiring.power(valuation[name], exponent))
+        if coefficient_embedding is not None:
+            term = semiring.multiply(coefficient_embedding(coefficient), term)
+        else:
+            if not float(coefficient).is_integer() or coefficient < 0:
+                raise SemiringError(
+                    "polynomial has non-natural coefficients; provide a "
+                    "coefficient_embedding for this semiring"
+                )
+            term = semiring.scale(term, int(coefficient))
+        total = semiring.add(total, term)
+    return total

@@ -1,0 +1,123 @@
+"""JSON (de)serialisation for provenance objects.
+
+These are the persistence formats used by the CLI (``cobra compress --input
+provenance.json``) and by downstream analysts who receive compressed
+provenance from a stronger machine — the workflow motivating the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import InvalidPolynomialError
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import Valuation
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Polynomials
+# ---------------------------------------------------------------------------
+
+
+def polynomial_to_dict(polynomial: Polynomial) -> Dict:
+    """Convert a polynomial to a JSON-serialisable dictionary."""
+    return {
+        "terms": [
+            {"coefficient": coefficient, "factors": list(monomial.factors)}
+            for monomial, coefficient in polynomial.terms()
+        ]
+    }
+
+
+def polynomial_from_dict(data: Dict) -> Polynomial:
+    """Inverse of :func:`polynomial_to_dict`."""
+    if "terms" not in data:
+        raise InvalidPolynomialError("polynomial JSON must contain a 'terms' list")
+    terms = {}
+    for term in data["terms"]:
+        monomial = Monomial.from_factors(
+            [(name, int(exp)) for name, exp in term["factors"]]
+        )
+        terms[monomial] = terms.get(monomial, 0.0) + float(term["coefficient"])
+    return Polynomial(terms)
+
+
+# ---------------------------------------------------------------------------
+# Provenance sets
+# ---------------------------------------------------------------------------
+
+
+def provenance_set_to_dict(provenance: ProvenanceSet) -> Dict:
+    """Convert a provenance set to a JSON-serialisable dictionary."""
+    return {
+        "groups": [
+            {"key": list(key), "polynomial": polynomial_to_dict(polynomial)}
+            for key, polynomial in provenance.items()
+        ]
+    }
+
+
+def provenance_set_from_dict(data: Dict) -> ProvenanceSet:
+    """Inverse of :func:`provenance_set_to_dict`."""
+    result = ProvenanceSet()
+    for group in data.get("groups", []):
+        key = tuple(group["key"])
+        result[key] = polynomial_from_dict(group["polynomial"])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Valuations
+# ---------------------------------------------------------------------------
+
+
+def valuation_to_dict(valuation: Valuation) -> Dict[str, float]:
+    """Convert a valuation to a plain name → value dictionary."""
+    return valuation.as_dict()
+
+
+def valuation_from_dict(data: Dict[str, float]) -> Valuation:
+    """Inverse of :func:`valuation_to_dict`."""
+    return Valuation(data)
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+
+def save_provenance_set(provenance: ProvenanceSet, path: PathLike) -> None:
+    """Write a provenance set as JSON to ``path``."""
+    Path(path).write_text(json.dumps(provenance_set_to_dict(provenance)))
+
+
+def load_provenance_set(path: PathLike) -> ProvenanceSet:
+    """Read a provenance set from the JSON file at ``path``."""
+    return provenance_set_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_valuation(valuation: Valuation, path: PathLike) -> None:
+    """Write a valuation as JSON to ``path``."""
+    Path(path).write_text(json.dumps(valuation_to_dict(valuation)))
+
+
+def load_valuation(path: PathLike) -> Valuation:
+    """Read a valuation from the JSON file at ``path``."""
+    return valuation_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_polynomials(polynomials: List[Polynomial], path: PathLike) -> None:
+    """Write a bare list of polynomials as JSON to ``path``."""
+    Path(path).write_text(
+        json.dumps([polynomial_to_dict(p) for p in polynomials])
+    )
+
+
+def load_polynomials(path: PathLike) -> List[Polynomial]:
+    """Read a bare list of polynomials from the JSON file at ``path``."""
+    return [polynomial_from_dict(d) for d in json.loads(Path(path).read_text())]

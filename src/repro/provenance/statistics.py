@@ -1,0 +1,127 @@
+"""Descriptive statistics of a provenance set.
+
+Before choosing a bound or building an abstraction tree, a meta-analyst
+wants to know what the provenance looks like: how many polynomials there
+are, how the monomials are distributed over them, which variables occur
+most often and which carry the most coefficient mass.  The demo's "under the
+hood" phase shows parts of this; :func:`describe_provenance` computes it for
+any :class:`~repro.provenance.polynomial.ProvenanceSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+@dataclass(frozen=True)
+class ProvenanceStatistics:
+    """A summary of the shape of a provenance set.
+
+    Attributes
+    ----------
+    num_groups:
+        Number of result groups (polynomials).
+    size:
+        Total number of monomials (the paper's size measure).
+    num_variables:
+        Number of distinct variables (the paper's expressiveness measure).
+    min/max/mean_monomials_per_group:
+        Distribution of monomials over the result groups.
+    degree_histogram:
+        monomial total degree → number of monomials of that degree.
+    variable_occurrences:
+        variable → number of monomials it appears in.
+    variable_mass:
+        variable → total absolute coefficient mass of the monomials it
+        appears in (a proxy for how much the result depends on it).
+    """
+
+    num_groups: int
+    size: int
+    num_variables: int
+    min_monomials_per_group: int
+    max_monomials_per_group: int
+    mean_monomials_per_group: float
+    degree_histogram: Dict[int, int]
+    variable_occurrences: Dict[str, int]
+    variable_mass: Dict[str, float]
+
+    def top_variables_by_occurrence(self, count: int = 10) -> List[Tuple[str, int]]:
+        """The ``count`` variables appearing in the most monomials."""
+        ranked = sorted(
+            self.variable_occurrences.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def top_variables_by_mass(self, count: int = 10) -> List[Tuple[str, float]]:
+        """The ``count`` variables carrying the most absolute coefficient mass."""
+        ranked = sorted(
+            self.variable_mass.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly rendering of the scalar fields."""
+        return {
+            "num_groups": self.num_groups,
+            "size": self.size,
+            "num_variables": self.num_variables,
+            "min_monomials_per_group": self.min_monomials_per_group,
+            "max_monomials_per_group": self.max_monomials_per_group,
+            "mean_monomials_per_group": self.mean_monomials_per_group,
+            "degree_histogram": dict(self.degree_histogram),
+        }
+
+    def render_text(self, top: int = 5) -> str:
+        """A short human-readable summary (used by the CLI)."""
+        lines = [
+            f"groups: {self.num_groups}   monomials: {self.size}   "
+            f"variables: {self.num_variables}",
+            f"monomials per group: min {self.min_monomials_per_group}, "
+            f"mean {self.mean_monomials_per_group:.1f}, "
+            f"max {self.max_monomials_per_group}",
+            "degree histogram: "
+            + ", ".join(
+                f"{degree}: {count}"
+                for degree, count in sorted(self.degree_histogram.items())
+            ),
+            "most frequent variables: "
+            + ", ".join(
+                f"{name} ({count})"
+                for name, count in self.top_variables_by_occurrence(top)
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def describe_provenance(provenance: ProvenanceSet) -> ProvenanceStatistics:
+    """Compute :class:`ProvenanceStatistics` for ``provenance``."""
+    group_sizes: List[int] = []
+    degree_histogram: Dict[int, int] = {}
+    occurrences: Dict[str, int] = {}
+    mass: Dict[str, float] = {}
+
+    for _key, polynomial in provenance.items():
+        group_sizes.append(polynomial.num_monomials())
+        for monomial, coefficient in polynomial.terms():
+            degree = monomial.degree()
+            degree_histogram[degree] = degree_histogram.get(degree, 0) + 1
+            for name, _exponent in monomial:
+                occurrences[name] = occurrences.get(name, 0) + 1
+                mass[name] = mass.get(name, 0.0) + abs(coefficient)
+
+    size = sum(group_sizes)
+    return ProvenanceStatistics(
+        num_groups=len(provenance),
+        size=size,
+        num_variables=provenance.num_variables(),
+        min_monomials_per_group=min(group_sizes) if group_sizes else 0,
+        max_monomials_per_group=max(group_sizes) if group_sizes else 0,
+        mean_monomials_per_group=(size / len(group_sizes)) if group_sizes else 0.0,
+        degree_histogram=degree_histogram,
+        variable_occurrences=occurrences,
+        variable_mass=mass,
+    )

@@ -1,0 +1,287 @@
+"""Valuations and fast (compiled) polynomial evaluation.
+
+Hypothetical reasoning with provenance boils down to repeatedly *assigning
+values* to the provenance variables and reading off the new query results.
+This module provides:
+
+* :class:`Valuation` — an immutable mapping from variable names to numbers,
+  with convenience constructors for the scenarios of the paper (e.g. "scale
+  the March price variables by 0.8");
+* :class:`CompiledPolynomial` / :class:`CompiledProvenanceSet` — a
+  numpy-backed compiled form of polynomials that makes repeated assignment
+  cheap; the ratio between evaluating the full and the compressed compiled
+  provenance is the *assignment speedup* the demo reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MissingValuationError
+from repro.provenance.polynomial import Number, Polynomial, ProvenanceSet
+
+
+class Valuation(Mapping[str, float]):
+    """An immutable assignment of numeric values to provenance variables.
+
+    Behaves as a read-only mapping; algebraic helpers return new valuations.
+
+    Examples
+    --------
+    >>> v = Valuation({"p1": 1.0, "m1": 1.0, "m3": 1.0})
+    >>> v.scaled({"m3"}, 0.8)["m3"]
+    0.8
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[str, Number]] = None) -> None:
+        self._values: Dict[str, float] = {
+            str(name): float(value) for name, value in (values or {}).items()
+        }
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def uniform(cls, variables: Iterable[str], value: Number = 1.0) -> "Valuation":
+        """Assign the same ``value`` to every variable in ``variables``.
+
+        The identity valuation (all ones) reproduces the original query
+        result when applied to the provenance polynomials.
+        """
+        return cls({name: value for name in variables})
+
+    @classmethod
+    def identity_for(cls, provenance: "ProvenanceSet | Polynomial") -> "Valuation":
+        """The all-ones valuation over the variables of ``provenance``."""
+        return cls.uniform(provenance.variables(), 1.0)
+
+    # -- mapping interface --------------------------------------------------
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> Dict[str, float]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._values)
+
+    # -- functional updates --------------------------------------------------
+
+    def updated(self, changes: Mapping[str, Number]) -> "Valuation":
+        """Return a valuation with ``changes`` overriding/extending this one."""
+        merged = dict(self._values)
+        for name, value in changes.items():
+            merged[str(name)] = float(value)
+        return Valuation(merged)
+
+    def scaled(self, variables: Iterable[str], factor: Number) -> "Valuation":
+        """Return a valuation with the given variables multiplied by ``factor``.
+
+        Variables not already present are treated as 1.0 before scaling, which
+        matches the paper's multiplicative parameterisation ("decrease the ppm
+        of all plans by 20%" == scale the corresponding variables by 0.8).
+        """
+        merged = dict(self._values)
+        for name in variables:
+            merged[name] = merged.get(name, 1.0) * float(factor)
+        return Valuation(merged)
+
+    def restricted(self, variables: Iterable[str]) -> "Valuation":
+        """Return the valuation restricted to ``variables`` (missing ones skipped)."""
+        keep = set(variables)
+        return Valuation(
+            {name: value for name, value in self._values.items() if name in keep}
+        )
+
+    def covers(self, variables: Iterable[str]) -> bool:
+        """Whether every variable in ``variables`` has a value."""
+        return all(name in self._values for name in variables)
+
+    def missing(self, variables: Iterable[str]) -> Tuple[str, ...]:
+        """The variables in ``variables`` that have no value, sorted."""
+        return tuple(sorted(name for name in set(variables) if name not in self._values))
+
+    def __repr__(self) -> str:
+        return f"Valuation({len(self._values)} variables)"
+
+
+class CompiledPolynomial:
+    """A polynomial compiled to flat numpy arrays for fast repeated evaluation.
+
+    The compilation maps each variable to an index, groups monomials by their
+    number of factors and stores, per group, a coefficient vector and an
+    integer matrix of ``(variable index, exponent)`` pairs.  Evaluation is a
+    handful of vectorised numpy operations, independent of Python-level
+    per-monomial loops — which is what makes assignment over provenance much
+    faster than re-running the query, and what makes the *compressed*
+    provenance proportionally faster than the full one.
+    """
+
+    __slots__ = ("_variables", "_index", "_groups", "_constant")
+
+    def __init__(self, polynomial: Polynomial) -> None:
+        variables = sorted(polynomial.variables())
+        self._variables: Tuple[str, ...] = tuple(variables)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+        self._constant: float = 0.0
+
+        by_width: Dict[int, List[Tuple[float, List[int], List[int]]]] = {}
+        for monomial, coefficient in polynomial.terms():
+            if monomial.is_unit():
+                self._constant += coefficient
+                continue
+            var_indices: List[int] = []
+            exponents: List[int] = []
+            for name, exponent in monomial:
+                var_indices.append(self._index[name])
+                exponents.append(exponent)
+            by_width.setdefault(len(var_indices), []).append(
+                (coefficient, var_indices, exponents)
+            )
+
+        self._groups: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for width, rows in sorted(by_width.items()):
+            coefficients = np.array([row[0] for row in rows], dtype=np.float64)
+            indices = np.array([row[1] for row in rows], dtype=np.intp)
+            exponents = np.array([row[2] for row in rows], dtype=np.float64)
+            self._groups.append((coefficients, indices, exponents))
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The variables of the compiled polynomial, sorted."""
+        return self._variables
+
+    def num_monomials(self) -> int:
+        """Number of non-constant monomials plus the constant term if present."""
+        count = sum(len(coefficients) for coefficients, _, _ in self._groups)
+        if self._constant != 0.0:
+            count += 1
+        return count
+
+    def _values_vector(self, valuation: Mapping[str, Number]) -> np.ndarray:
+        missing = [name for name in self._variables if name not in valuation]
+        if missing:
+            raise MissingValuationError(missing)
+        return np.array(
+            [float(valuation[name]) for name in self._variables], dtype=np.float64
+        )
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> float:
+        """Evaluate under ``valuation`` (raises if variables are missing)."""
+        if not self._variables:
+            return self._constant
+        values = self._values_vector(valuation)
+        total = self._constant
+        for coefficients, indices, exponents in self._groups:
+            gathered = values[indices]
+            if np.any(exponents != 1.0):
+                gathered = np.power(gathered, exponents)
+            total += float(np.dot(coefficients, np.prod(gathered, axis=1)))
+        return total
+
+    def evaluate_many(
+        self, valuations: Sequence[Mapping[str, Number]]
+    ) -> np.ndarray:
+        """Evaluate under a batch of valuations, returning one result each."""
+        return np.array([self.evaluate(v) for v in valuations], dtype=np.float64)
+
+
+class CompiledProvenanceSet:
+    """A :class:`ProvenanceSet` compiled for fast repeated assignment.
+
+    All polynomials share one variable index; evaluation of the whole set is
+    a single pass over flat arrays with a per-group segmented sum.
+    """
+
+    __slots__ = ("_keys", "_variables", "_index", "_constant", "_groups")
+
+    def __init__(self, provenance: ProvenanceSet) -> None:
+        self._keys: Tuple[Tuple, ...] = provenance.keys()
+        variables = sorted(provenance.variables())
+        self._variables: Tuple[str, ...] = tuple(variables)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+        key_index = {key: i for i, key in enumerate(self._keys)}
+
+        self._constant = np.zeros(len(self._keys), dtype=np.float64)
+        by_width: Dict[int, List[Tuple[int, float, List[int], List[int]]]] = {}
+        for key, polynomial in provenance.items():
+            row = key_index[key]
+            for monomial, coefficient in polynomial.terms():
+                if monomial.is_unit():
+                    self._constant[row] += coefficient
+                    continue
+                var_indices: List[int] = []
+                exponents: List[int] = []
+                for name, exponent in monomial:
+                    var_indices.append(self._index[name])
+                    exponents.append(exponent)
+                by_width.setdefault(len(var_indices), []).append(
+                    (row, coefficient, var_indices, exponents)
+                )
+
+        self._groups: List[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        for width, rows in sorted(by_width.items()):
+            result_rows = np.array([r[0] for r in rows], dtype=np.intp)
+            coefficients = np.array([r[1] for r in rows], dtype=np.float64)
+            indices = np.array([r[2] for r in rows], dtype=np.intp)
+            exponents = np.array([r[3] for r in rows], dtype=np.float64)
+            self._groups.append((result_rows, coefficients, indices, exponents))
+
+    @property
+    def keys(self) -> Tuple[Tuple, ...]:
+        """The result keys, in the order of the rows returned by :meth:`evaluate`."""
+        return self._keys
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All variables of the compiled set, sorted."""
+        return self._variables
+
+    def size(self) -> int:
+        """Total number of monomials (the provenance size)."""
+        count = int(np.count_nonzero(self._constant))
+        count += sum(len(group[1]) for group in self._groups)
+        return count
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> Dict[Tuple, float]:
+        """Evaluate every polynomial, returning key → numeric result."""
+        missing = [name for name in self._variables if name not in valuation]
+        if missing:
+            raise MissingValuationError(missing)
+        values = np.array(
+            [float(valuation[name]) for name in self._variables], dtype=np.float64
+        )
+        totals = self._constant.copy()
+        for result_rows, coefficients, indices, exponents in self._groups:
+            gathered = values[indices]
+            if np.any(exponents != 1.0):
+                gathered = np.power(gathered, exponents)
+            contributions = coefficients * np.prod(gathered, axis=1)
+            np.add.at(totals, result_rows, contributions)
+        return {key: float(totals[i]) for i, key in enumerate(self._keys)}
+
+    def evaluate_vector(self, valuation: Mapping[str, Number]) -> np.ndarray:
+        """Like :meth:`evaluate` but returning a bare numpy vector (fast path)."""
+        values = np.array(
+            [float(valuation[name]) for name in self._variables], dtype=np.float64
+        )
+        totals = self._constant.copy()
+        for result_rows, coefficients, indices, exponents in self._groups:
+            gathered = values[indices]
+            if np.any(exponents != 1.0):
+                gathered = np.power(gathered, exponents)
+            np.add.at(totals, result_rows, coefficients * np.prod(gathered, axis=1))
+        return totals

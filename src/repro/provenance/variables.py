@@ -1,0 +1,167 @@
+"""Provenance variables and variable registries.
+
+Throughout the polynomial layer variables are identified by their *name*
+(a non-empty string); :class:`Variable` additionally carries optional
+metadata describing where the variable came from (which table, column and
+key it parameterises), which is what abstraction trees are built from.
+
+A :class:`VariableRegistry` hands out fresh, deterministic variable names and
+remembers the metadata, playing the role of the instrumentation step in the
+paper ("instrument the data with symbolic variables, either at the cell or
+tuple level").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import InvalidVariableNameError
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def validate_variable_name(name: str) -> str:
+    """Validate and return a variable name.
+
+    Names must start with a letter or underscore and may contain letters,
+    digits, underscores, dots and dashes.  This keeps the textual polynomial
+    format unambiguous (``*`` separates factors, ``+`` separates monomials).
+    """
+    if not isinstance(name, str) or not name:
+        raise InvalidVariableNameError(f"invalid variable name: {name!r}")
+    if not _NAME_RE.match(name):
+        raise InvalidVariableNameError(
+            f"invalid variable name: {name!r} (must match {_NAME_RE.pattern})"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A provenance variable with optional lineage metadata.
+
+    Attributes
+    ----------
+    name:
+        The unique name used inside polynomials, e.g. ``"p1"`` or ``"m3"``.
+    table:
+        Optional name of the table whose data this variable parameterises.
+    column:
+        Optional column name (for cell-level instrumentation).
+    key:
+        Optional identifying key of the tuple (for tuple/cell-level
+        instrumentation), e.g. ``("A", 1)`` for plan A in month 1.
+    description:
+        Optional free-text description shown by the CLI.
+    """
+
+    name: str
+    table: Optional[str] = None
+    column: Optional[str] = None
+    key: Optional[Tuple] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        validate_variable_name(self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def variable_name(var: "Variable | str") -> str:
+    """Coerce a :class:`Variable` or a raw string to a validated name."""
+    if isinstance(var, Variable):
+        return var.name
+    return validate_variable_name(var)
+
+
+@dataclass
+class VariableRegistry:
+    """A factory and lookup table for provenance variables.
+
+    The registry guarantees uniqueness of names and provides deterministic
+    auto-generated names (``prefix_1``, ``prefix_2``, ...), so the same
+    instrumentation of the same database always yields the same variables —
+    a requirement for reproducible provenance generation.
+    """
+
+    _variables: Dict[str, Variable] = field(default_factory=dict)
+    _counters: Dict[str, int] = field(default_factory=dict)
+
+    def register(self, variable: Variable) -> Variable:
+        """Register ``variable``; re-registering an identical one is a no-op."""
+        existing = self._variables.get(variable.name)
+        if existing is not None:
+            if existing != variable:
+                raise InvalidVariableNameError(
+                    f"variable {variable.name!r} already registered with "
+                    f"different metadata"
+                )
+            return existing
+        self._variables[variable.name] = variable
+        return variable
+
+    def declare(
+        self,
+        name: str,
+        table: Optional[str] = None,
+        column: Optional[str] = None,
+        key: Optional[Tuple] = None,
+        description: str = "",
+    ) -> Variable:
+        """Create and register a variable with an explicit name."""
+        return self.register(
+            Variable(name=name, table=table, column=column, key=key,
+                     description=description)
+        )
+
+    def fresh(
+        self,
+        prefix: str = "x",
+        table: Optional[str] = None,
+        column: Optional[str] = None,
+        key: Optional[Tuple] = None,
+        description: str = "",
+    ) -> Variable:
+        """Create and register a variable with an auto-generated name.
+
+        Names are ``<prefix>_<n>`` with ``n`` counting up per prefix, skipping
+        names that were already registered explicitly.
+        """
+        validate_variable_name(prefix)
+        while True:
+            self._counters[prefix] = self._counters.get(prefix, 0) + 1
+            candidate = f"{prefix}_{self._counters[prefix]}"
+            if candidate not in self._variables:
+                break
+        return self.declare(
+            candidate, table=table, column=column, key=key,
+            description=description,
+        )
+
+    def get(self, name: str) -> Optional[Variable]:
+        """Return the variable registered under ``name`` or ``None``."""
+        return self._variables.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._variables
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._variables.values())
+
+    def names(self) -> Tuple[str, ...]:
+        """Return all registered names in insertion order."""
+        return tuple(self._variables.keys())
+
+    def by_table(self, table: str) -> Tuple[Variable, ...]:
+        """Return all variables registered for ``table``."""
+        return tuple(v for v in self._variables.values() if v.table == table)
+
+    def as_mapping(self) -> Mapping[str, Variable]:
+        """Return a read-only view of name → variable."""
+        return dict(self._variables)

@@ -1,0 +1,23 @@
+"""Small shared utilities: timing helpers and summary statistics."""
+
+from repro.utils.timing import Timer, time_callable, measure_speedup
+from repro.utils.stats import (
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+    Summary,
+)
+
+__all__ = [
+    "Timer",
+    "time_callable",
+    "measure_speedup",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize",
+    "Summary",
+]

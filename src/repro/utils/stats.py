@@ -1,0 +1,102 @@
+"""Summary statistics used by benchmark reporting.
+
+Kept dependency-light on purpose: only the standard library is required so
+these helpers can be reused from the CLI without importing numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def _as_sorted_list(values: Iterable[float]) -> List[float]:
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarise an empty sequence")
+    return data
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of ``values`` (must be non-empty)."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return sum(float(v) for v in data) / len(data)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of ``values`` (must be non-empty)."""
+    data = _as_sorted_list(values)
+    n = len(data)
+    mid = n // 2
+    if n % 2 == 1:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation percentile ``q`` in ``[0, 100]`` of ``values``."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be between 0 and 100")
+    data = _as_sorted_list(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return data[int(rank)]
+    weight = rank - lower
+    return data[lower] * (1.0 - weight) + data[upper] * weight
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation of ``values`` (must be non-empty)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot take the stddev of an empty sequence")
+    mu = mean(data)
+    return math.sqrt(sum((v - mu) ** 2 for v in data) / len(data))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of measurements."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    p95: float
+    stddev: float
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (for JSON output)."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "stddev": self.stddev,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from a non-empty sequence of measurements."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarise an empty sequence")
+    return Summary(
+        count=len(data),
+        minimum=min(data),
+        maximum=max(data),
+        mean=mean(data),
+        median=median(data),
+        p95=percentile(data, 95.0),
+        stddev=stddev(data),
+    )

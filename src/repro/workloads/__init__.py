@@ -1,0 +1,74 @@
+"""Workloads: the paper's demonstration datasets and synthetic generators.
+
+* :mod:`repro.workloads.telephony` — the telephony running example
+  (Figure 1): the exact micro-instance of the paper plus a scalable
+  generator reproducing the Section 4 instance (1,055 zip codes, 11 plans,
+  12 months — 139,260 monomials of provenance);
+* :mod:`repro.workloads.abstraction_trees` — the predefined abstraction
+  trees used in the demo (the plans tree of Figure 2, the month/quarter
+  tree, TPC-H region/nation and segment trees);
+* :mod:`repro.workloads.tpch` / :mod:`repro.workloads.tpch_queries` —
+  a TPC-H-style synthetic database and provenance-parameterised versions of
+  a subset of its queries;
+* :mod:`repro.workloads.random_polynomials` — random provenance and random
+  abstraction trees for stress and property-based testing.
+"""
+
+from repro.workloads.telephony import (
+    TelephonyConfig,
+    figure1_catalog,
+    generate_telephony_catalog,
+    revenue_query_sql,
+    revenue_query,
+    build_revenue_provenance,
+    generate_revenue_provenance,
+    example2_provenance,
+)
+from repro.workloads.abstraction_trees import (
+    plans_tree,
+    months_tree,
+    region_nation_tree,
+    market_segment_tree,
+)
+from repro.workloads.tpch import TpchConfig, generate_tpch_catalog
+from repro.workloads.tpch_queries import (
+    TpchProvenance,
+    q1_pricing_summary,
+    q3_segment_revenue,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+    q10_returned_items,
+    all_tpch_queries,
+)
+from repro.workloads.random_polynomials import (
+    random_provenance,
+    random_tree,
+    random_single_tree_instance,
+)
+
+__all__ = [
+    "TelephonyConfig",
+    "figure1_catalog",
+    "generate_telephony_catalog",
+    "revenue_query_sql",
+    "revenue_query",
+    "build_revenue_provenance",
+    "generate_revenue_provenance",
+    "example2_provenance",
+    "plans_tree",
+    "months_tree",
+    "region_nation_tree",
+    "market_segment_tree",
+    "TpchConfig",
+    "generate_tpch_catalog",
+    "TpchProvenance",
+    "q1_pricing_summary",
+    "q3_segment_revenue",
+    "q5_local_supplier_volume",
+    "q6_forecast_revenue",
+    "q10_returned_items",
+    "all_tpch_queries",
+    "random_provenance",
+    "random_tree",
+    "random_single_tree_instance",
+]

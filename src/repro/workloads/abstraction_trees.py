@@ -1,0 +1,142 @@
+"""The predefined abstraction trees used by the demonstration.
+
+The demo "uses predefined trees for each one of the datasets"; these are
+them:
+
+* :func:`plans_tree` — the plans tree of Figure 2 (Standard / Special /
+  Business, with the family, youth and small-business sub-groups);
+* :func:`months_tree` — the quarter tree of Section 4 (``q1`` groups
+  ``m1..m3`` and so on);
+* :func:`region_nation_tree` — a TPC-H tree grouping nation variables under
+  their region and all regions under the world;
+* :func:`market_segment_tree` — a TPC-H tree grouping market-segment
+  variables under consumer/corporate umbrellas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.core.abstraction_tree import AbstractionTree
+
+#: The plan → provenance-variable naming used throughout the running example
+#: (Example 2 of the paper).
+PLAN_VARIABLES: Dict[str, str] = {
+    "A": "p1",
+    "B": "p2",
+    "F1": "f1",
+    "F2": "f2",
+    "Y1": "y1",
+    "Y2": "y2",
+    "Y3": "y3",
+    "V": "v",
+    "SB1": "b1",
+    "SB2": "b2",
+    "E": "e",
+}
+
+
+def plans_tree() -> AbstractionTree:
+    """The abstraction tree of Figure 2 over the plan variables.
+
+    ::
+
+        Plans
+        ├── Standard: p1, p2
+        ├── Special
+        │   ├── F: f1, f2
+        │   ├── Y: y1, y2, y3
+        │   └── v
+        └── Business
+            ├── SB: b1, b2
+            └── e
+    """
+    return AbstractionTree(
+        "Plans",
+        {
+            "Plans": ["Standard", "Special", "Business"],
+            "Standard": ["p1", "p2"],
+            "Special": ["F", "Y", "v"],
+            "F": ["f1", "f2"],
+            "Y": ["y1", "y2", "y3"],
+            "Business": ["SB", "e"],
+            "SB": ["b1", "b2"],
+        },
+    )
+
+
+def months_tree(num_months: int = 12, root: str = "Year") -> AbstractionTree:
+    """The quarter tree over month variables described in Section 4.
+
+    Month variables ``m1 .. m<num_months>`` are grouped under quarter
+    meta-variables ``q1 .. q<ceil(n/3)>``, which are children of ``root``.
+    """
+    if num_months < 1:
+        raise ValueError("num_months must be positive")
+    groups: Dict[str, Sequence[str]] = {}
+    for month in range(1, num_months + 1):
+        quarter = f"q{(month - 1) // 3 + 1}"
+        groups.setdefault(quarter, []).append(f"m{month}")
+    return AbstractionTree.from_groups(root, groups)
+
+
+def region_nation_tree(
+    nations_by_region: Mapping[str, Sequence[str]],
+    root: str = "World",
+    variable_prefix: str = "n_",
+) -> AbstractionTree:
+    """A TPC-H tree: nation variables grouped by region, regions under ``root``.
+
+    ``nations_by_region`` maps a region name to its nation names; the leaf
+    variables are ``<variable_prefix><nation>`` (lower-cased, spaces replaced
+    by underscores) so they match the instrumentation of
+    :mod:`repro.workloads.tpch_queries`.  Region names containing spaces
+    (e.g. ``MIDDLE EAST``) become valid meta-variable names by replacing the
+    spaces with underscores.
+    """
+    region_node = {region: region.replace(" ", "_") for region in nations_by_region}
+    edges: Dict[str, Sequence[str]] = {root: [region_node[r] for r in nations_by_region]}
+    for region, nations in nations_by_region.items():
+        edges[region_node[region]] = [
+            nation_variable(nation, variable_prefix) for nation in nations
+        ]
+    return AbstractionTree(root, edges)
+
+
+def nation_variable(nation: str, prefix: str = "n_") -> str:
+    """The provenance-variable name used for a TPC-H nation."""
+    return prefix + nation.lower().replace(" ", "_")
+
+
+def market_segment_tree(
+    segments: Sequence[str] = (
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "HOUSEHOLD",
+        "MACHINERY",
+    ),
+    root: str = "Segments",
+) -> AbstractionTree:
+    """A TPC-H tree grouping market-segment variables by customer type.
+
+    Consumer-facing segments (automobile, furniture, household) and
+    business-facing segments (building, machinery) form the two groups.
+    """
+    consumer = [s for s in segments if s in ("AUTOMOBILE", "FURNITURE", "HOUSEHOLD")]
+    business = [s for s in segments if s not in consumer]
+    edges: Dict[str, Sequence[str]] = {root: []}
+    children = []
+    if consumer:
+        children.append("Consumer")
+        edges["Consumer"] = [segment_variable(s) for s in consumer]
+    if business:
+        children.append("BusinessSegments")
+        edges["BusinessSegments"] = [segment_variable(s) for s in business]
+    edges[root] = children
+    return AbstractionTree(root, edges)
+
+
+def segment_variable(segment: str, prefix: str = "seg_") -> str:
+    """The provenance-variable name used for a TPC-H market segment."""
+    return prefix + segment.lower()

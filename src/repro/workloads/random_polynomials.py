@@ -1,0 +1,122 @@
+"""Random provenance and abstraction-tree generators.
+
+These exist for stress tests, property-based tests and the optimiser
+ablation benchmark: they produce instances with controllable shape (number
+of result groups, monomials per group, tree fan-out and depth) where the
+exact algorithms can be cross-checked against each other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.core.abstraction_tree import AbstractionTree
+
+
+def random_tree(
+    num_leaves: int,
+    max_children: int = 3,
+    seed: int = 0,
+    leaf_prefix: str = "x",
+    inner_prefix: str = "g",
+    root: str = "Root",
+) -> AbstractionTree:
+    """A random tree with ``num_leaves`` leaves named ``<leaf_prefix><i>``.
+
+    The tree is built top-down by recursively partitioning the leaf range
+    into 2..``max_children`` contiguous groups, so the result is always a
+    well-formed abstraction tree of moderate depth.
+    """
+    if num_leaves < 1:
+        raise ValueError("num_leaves must be positive")
+    rng = random.Random(seed)
+    leaves = [f"{leaf_prefix}{i}" for i in range(1, num_leaves + 1)]
+    edges: Dict[str, List[str]] = {}
+    counter = {"inner": 0}
+
+    def build(name: str, members: Sequence[str]) -> None:
+        if len(members) == 1:
+            # A single member: attach the leaf directly under the parent by
+            # making `name` that leaf — handled by the caller.
+            raise AssertionError("build() is never called with one member")
+        children: List[str] = []
+        if len(members) <= max_children and rng.random() < 0.5:
+            # Make all members direct leaf children.
+            edges[name] = list(members)
+            return
+        num_groups = rng.randint(2, min(max_children, len(members)))
+        boundaries = sorted(rng.sample(range(1, len(members)), num_groups - 1))
+        start = 0
+        for boundary in list(boundaries) + [len(members)]:
+            group = members[start:boundary]
+            start = boundary
+            if len(group) == 1:
+                children.append(group[0])
+            else:
+                counter["inner"] += 1
+                inner = f"{inner_prefix}{counter['inner']}"
+                children.append(inner)
+                build(inner, group)
+        edges[name] = children
+
+    if len(leaves) == 1:
+        edges[root] = leaves
+    else:
+        build(root, leaves)
+    return AbstractionTree(root, edges)
+
+
+def random_provenance(
+    variables: Sequence[str],
+    num_groups: int = 5,
+    monomials_per_group: int = 20,
+    extra_variables: Sequence[str] = (),
+    max_degree: int = 2,
+    seed: int = 0,
+) -> ProvenanceSet:
+    """Random provenance whose monomials draw variables from ``variables``.
+
+    Each monomial contains at most one variable from ``variables`` (so the
+    single-tree DP applies when those are a tree's leaves) and up to
+    ``max_degree - 1`` variables from ``extra_variables``.
+    """
+    rng = random.Random(seed)
+    provenance = ProvenanceSet()
+    for group in range(num_groups):
+        terms: Dict[Monomial, float] = {}
+        for _ in range(monomials_per_group):
+            factors: Dict[str, int] = {}
+            if variables and rng.random() < 0.9:
+                factors[rng.choice(list(variables))] = 1
+            for _extra in range(rng.randint(0, max(0, max_degree - 1))):
+                if extra_variables:
+                    name = rng.choice(list(extra_variables))
+                    factors[name] = factors.get(name, 0) + 1
+            coefficient = round(rng.uniform(0.5, 100.0), 2)
+            monomial = Monomial(factors)
+            terms[monomial] = terms.get(monomial, 0.0) + coefficient
+        provenance[(f"g{group}",)] = Polynomial(terms)
+    return provenance
+
+
+def random_single_tree_instance(
+    num_leaves: int = 8,
+    num_groups: int = 4,
+    monomials_per_group: int = 15,
+    num_extra_variables: int = 4,
+    seed: int = 0,
+) -> Tuple[ProvenanceSet, AbstractionTree]:
+    """A matched (provenance, tree) pair satisfying the single-tree DP precondition."""
+    tree = random_tree(num_leaves, seed=seed)
+    extra = [f"e{i}" for i in range(1, num_extra_variables + 1)]
+    provenance = random_provenance(
+        tree.leaves(),
+        num_groups=num_groups,
+        monomials_per_group=monomials_per_group,
+        extra_variables=extra,
+        seed=seed + 1,
+    )
+    return provenance, tree

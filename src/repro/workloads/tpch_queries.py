@@ -1,0 +1,307 @@
+"""Provenance-parameterised versions of a subset of the TPC-H queries.
+
+The demo "presents a subset of [TPC-H's] queries"; we reproduce five of the
+business questions (Q1, Q3, Q5, Q6, Q10), each instrumented with provenance
+variables suited to hypothetical reasoning and paired with the abstraction
+tree(s) a meta-analyst would naturally use:
+
+========  =======================================  ==========================
+query     parameterisation                          recommended tree(s)
+========  =======================================  ==========================
+Q1        revenue scaled per ship month             months → quarters
+Q3        customer segments + ship months           segment tree + month tree
+Q5        supplier nations                          nations → regions → world
+Q6        ship months (single forecast polynomial)  months → quarters
+Q10       ship months, per customer nation          months → quarters
+========  =======================================  ==========================
+
+Every function returns a :class:`TpchProvenance` bundling the provenance
+set, the recommended tree or forest and a human-readable description, ready
+to be fed into a :class:`~repro.engine.session.CobraSession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.variables import VariableRegistry
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.db.annotations import CellParameterizationPolicy, TupleAnnotationPolicy
+from repro.db.catalog import Catalog
+from repro.db.executor import execute, to_provenance_set
+from repro.db.expressions import col, const
+from repro.db.query import Query
+from repro.workloads.abstraction_trees import (
+    market_segment_tree,
+    months_tree,
+    nation_variable,
+    region_nation_tree,
+    segment_variable,
+)
+from repro.workloads.tpch import MARKET_SEGMENTS, NATIONS_BY_REGION
+
+TreeOrForest = Union[AbstractionTree, AbstractionForest]
+
+
+@dataclass(frozen=True)
+class TpchProvenance:
+    """A reproduced TPC-H query: its provenance and the recommended abstraction."""
+
+    name: str
+    description: str
+    provenance: ProvenanceSet
+    trees: TreeOrForest
+    group_columns: Tuple[str, ...]
+
+
+def _catalog_with(catalog: Catalog, replacement) -> Catalog:
+    """A shallow copy of ``catalog`` with one table replaced."""
+    result = Catalog()
+    for table in catalog:
+        if table.name == replacement.name:
+            result.add(replacement)
+        else:
+            result.add(table)
+    return result
+
+
+def _month_parameterised_lineitem(catalog: Catalog) -> Catalog:
+    """LINEITEM with L_EXTENDEDPRICE parameterised by the ship-month variable."""
+    policy = CellParameterizationPolicy(
+        column="L_EXTENDEDPRICE",
+        namer=lambda row: f"m{int(row['L_SHIPMONTH'])}",
+        registry=VariableRegistry(),
+    )
+    return _catalog_with(catalog, policy.apply(catalog.get("LINEITEM")))
+
+
+# ---------------------------------------------------------------------------
+# Q1 — pricing summary report
+# ---------------------------------------------------------------------------
+
+
+def q1_pricing_summary(catalog: Catalog) -> TpchProvenance:
+    """Q1: revenue per (return flag, line status), parameterised by ship month.
+
+    The hypothetical an analyst can ask: "what if prices shipped in month X
+    had been k% higher?" — one variable per calendar month, naturally grouped
+    into quarters by the month tree.
+    """
+    instrumented = _month_parameterised_lineitem(catalog)
+    query = (
+        Query.scan("LINEITEM")
+        .filter(col("L_SHIPDATE") <= const("1998-09-02"))
+        .groupby(
+            ["L_RETURNFLAG", "L_LINESTATUS"],
+            aggregates=[
+                (
+                    "revenue",
+                    "sum",
+                    col("L_EXTENDEDPRICE") * (const(1.0) - col("L_DISCOUNT")),
+                )
+            ],
+        )
+    )
+    relation = execute(query, instrumented)
+    provenance = to_provenance_set(
+        relation, ["L_RETURNFLAG", "L_LINESTATUS"], "revenue"
+    )
+    return TpchProvenance(
+        name="Q1",
+        description="pricing summary: revenue per (returnflag, linestatus), "
+        "ship-month parameterised",
+        provenance=provenance,
+        trees=months_tree(12),
+        group_columns=("L_RETURNFLAG", "L_LINESTATUS"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q3 — shipping priority / segment revenue
+# ---------------------------------------------------------------------------
+
+
+def q3_segment_revenue(catalog: Catalog) -> TpchProvenance:
+    """Q3 variant: revenue per order priority, parameterised by market segment and month.
+
+    Customer tuples are annotated with their market-segment variable and
+    lineitem prices by their ship-month variable, so each result group's
+    polynomial has one monomial per (segment, month) pair — a two-tree
+    (forest) abstraction problem.
+    """
+    instrumented = _month_parameterised_lineitem(catalog)
+    segment_policy = TupleAnnotationPolicy(
+        namer=lambda row: segment_variable(str(row["C_MKTSEGMENT"]))
+    )
+    providers = {
+        "CUSTOMER": segment_policy.annotation_provider(catalog.get("CUSTOMER"))
+    }
+    query = (
+        Query.scan("LINEITEM")
+        .join(Query.scan("ORDERS"), on=[("L_ORDERKEY", "O_ORDERKEY")])
+        .join(Query.scan("CUSTOMER"), on=[("O_CUSTKEY", "C_CUSTKEY")])
+        .filter(col("O_ORDERDATE") < const("1998-01-01"))
+        .groupby(
+            ["O_ORDERPRIORITY"],
+            aggregates=[
+                (
+                    "revenue",
+                    "sum",
+                    col("L_EXTENDEDPRICE") * (const(1.0) - col("L_DISCOUNT")),
+                )
+            ],
+        )
+    )
+    relation = execute(query, instrumented, annotations=providers)
+    provenance = to_provenance_set(relation, ["O_ORDERPRIORITY"], "revenue")
+    forest = AbstractionForest([market_segment_tree(MARKET_SEGMENTS), months_tree(12)])
+    return TpchProvenance(
+        name="Q3",
+        description="segment revenue per order priority, parameterised by "
+        "market segment and ship month",
+        provenance=provenance,
+        trees=forest,
+        group_columns=("O_ORDERPRIORITY",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q5 — local supplier volume
+# ---------------------------------------------------------------------------
+
+
+def q5_local_supplier_volume(catalog: Catalog) -> TpchProvenance:
+    """Q5 variant: revenue per order year, parameterised by the supplier's nation.
+
+    Supplier tuples are annotated with their nation variable (via the NATION
+    join), so each year's polynomial has one monomial per nation; the
+    region/nation tree abstracts 25 nations into 5 regions or the whole
+    world.
+    """
+    nation_names = {row["N_NATIONKEY"]: row["N_NAME"] for row in catalog.get("NATION")}
+    supplier_policy = TupleAnnotationPolicy(
+        namer=lambda row: nation_variable(str(nation_names[row["S_NATIONKEY"]]))
+    )
+    providers = {
+        "SUPPLIER": supplier_policy.annotation_provider(catalog.get("SUPPLIER"))
+    }
+    query = (
+        Query.scan("LINEITEM")
+        .join(Query.scan("ORDERS"), on=[("L_ORDERKEY", "O_ORDERKEY")])
+        .join(Query.scan("SUPPLIER"), on=[("L_SUPPKEY", "S_SUPPKEY")])
+        .groupby(
+            ["O_ORDERYEAR"],
+            aggregates=[
+                (
+                    "revenue",
+                    "sum",
+                    col("L_EXTENDEDPRICE") * (const(1.0) - col("L_DISCOUNT")),
+                )
+            ],
+        )
+    )
+    relation = execute(query, catalog, annotations=providers)
+    provenance = to_provenance_set(relation, ["O_ORDERYEAR"], "revenue")
+    return TpchProvenance(
+        name="Q5",
+        description="supplier volume per order year, parameterised by "
+        "supplier nation",
+        provenance=provenance,
+        trees=region_nation_tree(NATIONS_BY_REGION),
+        group_columns=("O_ORDERYEAR",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q6 — forecasting revenue change
+# ---------------------------------------------------------------------------
+
+
+def q6_forecast_revenue(catalog: Catalog) -> TpchProvenance:
+    """Q6: the forecast-revenue-change query — a single polynomial over months.
+
+    ``SUM(L_EXTENDEDPRICE * L_DISCOUNT)`` over discounted, small-quantity
+    1994 shipments, with prices parameterised by ship month.  This is the
+    classic single-aggregate what-if: "how much revenue would a price change
+    in month X have added?".
+    """
+    instrumented = _month_parameterised_lineitem(catalog)
+    query = (
+        Query.scan("LINEITEM")
+        .filter(col("L_SHIPDATE") >= const("1994-01-01"))
+        .filter(col("L_SHIPDATE") < const("1995-01-01"))
+        .filter(col("L_DISCOUNT") >= const(0.02))
+        .filter(col("L_QUANTITY") < const(25.0))
+        .project([("total", const("all")), "L_EXTENDEDPRICE", "L_DISCOUNT"])
+        .groupby(
+            ["total"],
+            aggregates=[
+                ("revenue", "sum", col("L_EXTENDEDPRICE") * col("L_DISCOUNT"))
+            ],
+        )
+    )
+    relation = execute(query, instrumented)
+    provenance = to_provenance_set(relation, ["total"], "revenue")
+    return TpchProvenance(
+        name="Q6",
+        description="forecast revenue change (single aggregate), "
+        "ship-month parameterised",
+        provenance=provenance,
+        trees=months_tree(12),
+        group_columns=("total",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q10 — returned item reporting
+# ---------------------------------------------------------------------------
+
+
+def q10_returned_items(catalog: Catalog) -> TpchProvenance:
+    """Q10 variant: lost revenue from returned items per customer nation.
+
+    Ship months parameterise the prices; grouping by the customer's nation
+    gives one polynomial per nation with one monomial per month, abstracted
+    by the quarter tree.
+    """
+    instrumented = _month_parameterised_lineitem(catalog)
+    query = (
+        Query.scan("LINEITEM")
+        .filter(col("L_RETURNFLAG") == const("R"))
+        .join(Query.scan("ORDERS"), on=[("L_ORDERKEY", "O_ORDERKEY")])
+        .join(Query.scan("CUSTOMER"), on=[("O_CUSTKEY", "C_CUSTKEY")])
+        .join(Query.scan("NATION"), on=[("C_NATIONKEY", "N_NATIONKEY")])
+        .groupby(
+            ["N_NAME"],
+            aggregates=[
+                (
+                    "revenue",
+                    "sum",
+                    col("L_EXTENDEDPRICE") * (const(1.0) - col("L_DISCOUNT")),
+                )
+            ],
+        )
+    )
+    relation = execute(query, instrumented)
+    provenance = to_provenance_set(relation, ["N_NAME"], "revenue")
+    return TpchProvenance(
+        name="Q10",
+        description="returned-item revenue per customer nation, "
+        "ship-month parameterised",
+        provenance=provenance,
+        trees=months_tree(12),
+        group_columns=("N_NAME",),
+    )
+
+
+def all_tpch_queries(catalog: Catalog) -> List[TpchProvenance]:
+    """Build the provenance of all five reproduced queries."""
+    return [
+        q1_pricing_summary(catalog),
+        q3_segment_revenue(catalog),
+        q5_local_supplier_volume(catalog),
+        q6_forecast_revenue(catalog),
+        q10_returned_items(catalog),
+    ]

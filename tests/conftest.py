@@ -1,0 +1,115 @@
+"""Shared fixtures: the paper's running example and small synthetic instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.abstraction_tree import AbstractionTree
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.workloads.abstraction_trees import months_tree, plans_tree
+from repro.workloads.telephony import (
+    TelephonyConfig,
+    build_revenue_provenance,
+    example2_provenance,
+    figure1_catalog,
+    generate_revenue_provenance,
+    generate_telephony_catalog,
+)
+from repro.workloads.tpch import TpchConfig, generate_tpch_catalog
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The exact Figure 1 telephony catalog."""
+    return figure1_catalog()
+
+
+@pytest.fixture(scope="session")
+def example2(figure1):
+    """The provenance of Example 2 (polynomials P1 and P2), computed end to end."""
+    return build_revenue_provenance(figure1)
+
+
+@pytest.fixture(scope="session")
+def fig2_tree():
+    """The plans abstraction tree of Figure 2."""
+    return plans_tree()
+
+
+@pytest.fixture(scope="session")
+def quarter_tree():
+    """The month → quarter tree of Section 4."""
+    return months_tree(12)
+
+
+@pytest.fixture(scope="session")
+def small_telephony_config():
+    """A small-but-structured telephony instance (fast enough for every test)."""
+    return TelephonyConfig(num_customers=600, num_zips=12, months=(1, 2, 3, 4, 5, 6))
+
+
+@pytest.fixture(scope="session")
+def small_telephony_provenance(small_telephony_config):
+    """Analytically generated provenance of the small telephony instance."""
+    return generate_revenue_provenance(small_telephony_config)
+
+
+@pytest.fixture(scope="session")
+def small_telephony_catalog(small_telephony_config):
+    """A catalog for a (smaller still) telephony instance run through the engine."""
+    config = TelephonyConfig(num_customers=60, num_zips=3, months=(1, 2, 3))
+    return generate_telephony_catalog(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch_catalog():
+    """A tiny TPC-H-style catalog (fast to query in-process)."""
+    return generate_tpch_catalog(TpchConfig(scale=0.0003, orders_per_customer=4))
+
+
+@pytest.fixture
+def simple_tree():
+    """A small hand-built tree used across the core unit tests.
+
+    ::
+
+        R
+        ├── A: a1, a2
+        └── B
+            ├── C: c1, c2
+            └── b1
+    """
+    return AbstractionTree(
+        "R",
+        {
+            "R": ["A", "B"],
+            "A": ["a1", "a2"],
+            "B": ["C", "b1"],
+            "C": ["c1", "c2"],
+        },
+    )
+
+
+@pytest.fixture
+def simple_provenance():
+    """A small keyed provenance over the ``simple_tree`` leaves plus extras."""
+    provenance = ProvenanceSet()
+    provenance[("g1",)] = Polynomial(
+        {
+            Monomial.of("a1", "e1"): 2.0,
+            Monomial.of("a2", "e1"): 3.0,
+            Monomial.of("c1", "e1"): 1.0,
+            Monomial.of("c2", "e2"): 4.0,
+            Monomial.of("b1", "e2"): 5.0,
+        }
+    )
+    provenance[("g2",)] = Polynomial(
+        {
+            Monomial.of("a1", "e2"): 1.5,
+            Monomial.of("c1", "e2"): 2.5,
+            Monomial.of("b1", "e1"): 0.5,
+            Monomial.of("e1"): 7.0,
+        }
+    )
+    return provenance

@@ -1,0 +1,104 @@
+"""Integration tests for the Section 4 quarter tree and quarterly scenarios.
+
+"If the analyst knows that the prices are usually changed uniformly during
+each quarter, a natural abstraction tree would consist of quarter
+meta-variables q1..q4" — these tests build exactly that tree over the month
+variables, compress the telephony provenance with it, and check that
+quarter-uniform price changes are answered exactly from the compressed
+provenance while finer (single-month) changes incur the expected averaging
+error.
+"""
+
+import pytest
+
+from repro.core.abstraction_tree import AbstractionForest
+from repro.core.optimizer import optimize_single_tree
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.workloads.abstraction_trees import months_tree, plans_tree
+from repro.workloads.telephony import TelephonyConfig, generate_revenue_provenance
+
+ZIPS = 30
+PLANS = 11
+MONTHS = 12
+
+
+@pytest.fixture(scope="module")
+def provenance():
+    config = TelephonyConfig(
+        num_customers=ZIPS * PLANS, num_zips=ZIPS, months=tuple(range(1, MONTHS + 1))
+    )
+    return generate_revenue_provenance(config)
+
+
+class TestQuarterCompression:
+    def test_quarter_cut_is_chosen(self, provenance):
+        tree = months_tree(MONTHS)
+        bound = ZIPS * PLANS * 4
+        result = optimize_single_tree(provenance, tree, bound)
+        assert result.feasible
+        assert result.cut.nodes == frozenset({"q1", "q2", "q3", "q4"})
+        assert result.achieved_size == bound
+
+    def test_quarter_uniform_scenario_is_exact(self, provenance):
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(months_tree(MONTHS))
+        session.set_bound(ZIPS * PLANS * 4)
+        session.compress()
+        scenario = Scenario("Q1 discount").scale(["m1", "m2", "m3"], 0.85)
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        assert report.max_relative_error < 1e-9
+        assert all(group.change_from_baseline <= 0.0 for group in report.groups)
+
+    def test_single_month_scenario_is_approximated(self, provenance):
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(months_tree(MONTHS))
+        session.set_bound(ZIPS * PLANS * 4)
+        session.compress()
+        scenario = Scenario("March only").scale(["m3"], 0.4)
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        # The compressed provenance spreads the change over the whole quarter:
+        # results move in the right direction but not exactly.
+        assert report.max_absolute_error > 0.0
+        assert all(group.compressed_result <= group.baseline + 1e-9 for group in report.groups)
+
+    def test_year_cut_under_tighter_bound(self, provenance):
+        tree = months_tree(MONTHS)
+        result = optimize_single_tree(provenance, tree, ZIPS * PLANS)
+        assert result.cut.is_root_cut()
+        assert result.achieved_size == ZIPS * PLANS
+
+
+class TestPlansAndQuartersTogether:
+    def test_forest_reaches_sizes_single_trees_cannot(self, provenance):
+        forest = AbstractionForest([plans_tree(), months_tree(MONTHS)])
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(forest)
+        bound = ZIPS * 3 * 4  # 3 plan groups x 4 quarters per zip
+        session.set_bound(bound)
+        result = session.compress(method="greedy")
+        assert result.feasible
+        assert result.achieved_size <= bound
+
+        # A scenario uniform in both dimensions stays exact.
+        scenario = (
+            Scenario("Q4 business bump")
+            .scale(["m10", "m11", "m12"], 1.05)
+            .scale(["b1", "b2", "e"], 1.02)
+        )
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        # Exactness requires every abstraction group to receive a single value
+        # under the scenario; otherwise the group average introduces a small,
+        # bounded drift.  Decide which case we are in and assert accordingly.
+        full_valuation = scenario.apply(
+            session.base_valuation, provenance.variables()
+        )
+        uniform_groups = all(
+            len({round(full_valuation.get(member, 1.0), 12) for member in members
+                 if member in provenance.variables()}) <= 1
+            for members in result.abstraction.grouped_variables().values()
+        )
+        if uniform_groups:
+            assert report.max_relative_error < 1e-9
+        else:
+            assert 0.0 < report.max_relative_error < 0.05

@@ -1,0 +1,183 @@
+"""Integration tests reproducing the paper's running example end to end.
+
+These tests follow the narrative of the paper: the Figure 1 database feeds
+the revenue query (Section 2), producing the provenance polynomials of
+Example 2; the Figure 2 abstraction tree and its cuts S1–S5 compress them as
+in Examples 3–4; and the COBRA session supports the hypothetical scenarios
+of Example 1.
+"""
+
+import pytest
+
+from repro.core.compression import apply_abstraction
+from repro.core.cut import Cut
+from repro.core.optimizer import optimize_single_tree
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.provenance.monomial import Monomial
+
+
+#: The polynomials of Example 2, as (zip, plan variable, month, coefficient).
+EXAMPLE2_P1 = {
+    ("p1", "m1"): 208.8,
+    ("p1", "m3"): 240.0,
+    ("f1", "m1"): 127.4,
+    ("f1", "m3"): 114.45,
+    ("y1", "m1"): 75.9,
+    ("y1", "m3"): 72.5,
+    ("v", "m1"): 42.0,
+    ("v", "m3"): 24.2,
+}
+
+EXAMPLE2_P2 = {
+    ("b1", "m1"): 77.9,
+    ("b1", "m3"): 80.5,
+    ("e", "m1"): 52.2,
+    ("e", "m3"): 56.5,
+    ("b2", "m1"): 69.7,
+    ("b2", "m3"): 100.65,
+}
+
+
+class TestExample2:
+    """The provenance engine reproduces P1 and P2 exactly."""
+
+    def test_p1_coefficients(self, example2):
+        p1 = example2[("10001",)]
+        assert p1.num_monomials() == len(EXAMPLE2_P1)
+        for (plan, month), coefficient in EXAMPLE2_P1.items():
+            assert p1.coefficient(Monomial.of(plan, month)) == pytest.approx(coefficient)
+
+    def test_p2_coefficients(self, example2):
+        p2 = example2[("10002",)]
+        assert p2.num_monomials() == len(EXAMPLE2_P2)
+        for (plan, month), coefficient in EXAMPLE2_P2.items():
+            assert p2.coefficient(Monomial.of(plan, month)) == pytest.approx(coefficient)
+
+    def test_total_size_and_variables(self, example2):
+        assert example2.size() == 14
+        assert example2.num_variables() == 9
+
+
+class TestExample4Cuts:
+    """The cuts S1–S5 of Example 4 and their sizes/variable counts on {P1, P2}."""
+
+    @pytest.fixture
+    def cuts(self, fig2_tree):
+        return {
+            "S1": Cut.of(fig2_tree, "Business", "Special", "Standard"),
+            "S2": Cut.of(fig2_tree, "SB", "e", "f1", "f2", "Y", "v", "Standard"),
+            "S3": Cut.of(fig2_tree, "b1", "b2", "e", "Special", "Standard"),
+            "S4": Cut.of(fig2_tree, "SB", "e", "F", "Y", "v", "p1", "p2"),
+            "S5": Cut.of(fig2_tree, "Plans"),
+        }
+
+    def test_s1_on_p1_matches_paper(self, example2, cuts):
+        """Example 4 spells out the S1-compressed P1: 4 monomials, 4 variables."""
+        result = apply_abstraction(example2[("10001",)], cuts["S1"])
+        compressed = result.compressed[(0,)]
+        assert compressed.num_monomials() == 4
+        assert compressed.variables() == frozenset({"Standard", "Special", "m1", "m3"})
+        assert compressed.coefficient(Monomial.of("Special", "m1")) == pytest.approx(245.3)
+        assert compressed.coefficient(Monomial.of("Special", "m3")) == pytest.approx(211.15)
+
+    def test_s5_on_p1_has_two_monomials_three_variables(self, example2, cuts):
+        result = apply_abstraction(example2[("10001",)], cuts["S5"])
+        compressed = result.compressed[(0,)]
+        assert compressed.num_monomials() == 2
+        assert compressed.variables() == frozenset({"Plans", "m1", "m3"})
+
+    def test_cut_table_on_full_provenance(self, example2, cuts):
+        """Sizes and variable counts of every cut of Example 4 on {P1, P2}."""
+        expected = {
+            # name: (compressed size, number of cut variables)
+            "S1": (6, 3),
+            "S2": (12, 7),
+            "S3": (10, 5),
+            "S4": (12, 7),
+            "S5": (4, 1),
+        }
+        for name, cut in cuts.items():
+            result = apply_abstraction(example2, cut)
+            size, variables = expected[name]
+            assert result.compressed_size == size, name
+            assert cut.num_variables() == variables, name
+
+    def test_every_cut_preserves_totals_under_identity(self, example2, cuts):
+        """Compression never changes the value under the all-ones valuation."""
+        full = example2.evaluate({name: 1.0 for name in example2.variables()})
+        for cut in cuts.values():
+            compressed = apply_abstraction(example2, cut).compressed
+            values = compressed.evaluate(
+                {name: 1.0 for name in compressed.variables()}
+            )
+            for key in full:
+                assert values[key] == pytest.approx(full[key])
+
+
+class TestOptimizerOnRunningExample:
+    def test_bound_six_beats_s1(self, example2, fig2_tree):
+        """At bound 6 the optimum keeps 4 variables — strictly better than S1.
+
+        S1 = {Business, Special, Standard} also has size 6 but only 3
+        variables; the DP finds a same-size cut that additionally keeps the
+        zero-occurrence leaf p2 free (e.g. {Business, Special, p1, p2}).
+        """
+        result = optimize_single_tree(example2, fig2_tree, bound=6)
+        assert result.achieved_size <= 6
+        assert result.cut.num_variables() == 4
+        assert {"Business", "Special"} <= set(result.cut.nodes)
+
+    def test_bound_four_chooses_root(self, example2, fig2_tree):
+        result = optimize_single_tree(example2, fig2_tree, bound=4)
+        assert result.cut.nodes == frozenset({"Plans"})
+        assert result.achieved_size == 4
+
+    def test_bound_fourteen_keeps_all_leaves(self, example2, fig2_tree):
+        result = optimize_single_tree(example2, fig2_tree, bound=14)
+        assert result.cut.is_leaf_cut()
+        assert result.achieved_size == 14
+
+
+class TestExample1Scenarios:
+    """The hypothetical questions of Example 1, answered through a session."""
+
+    @pytest.fixture
+    def session(self, example2, fig2_tree):
+        session = CobraSession(example2)
+        session.set_abstraction_trees(fig2_tree)
+        session.set_bound(6)
+        session.compress()
+        return session
+
+    def test_march_discount_scenario(self, session):
+        """What if the ppm of all plans decreases by 20% in March?"""
+        scenario = Scenario("march").scale(["m3"], 0.8)
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        by_key = {group.key: group for group in report.groups}
+        # Full result for 10001: m1 part unchanged, m3 part scaled by 0.8.
+        m1_part = 208.8 + 127.4 + 75.9 + 42.0
+        m3_part = 240.0 + 114.45 + 72.5 + 24.2
+        assert by_key[("10001",)].full_result == pytest.approx(m1_part + 0.8 * m3_part)
+        # The scenario is uniform across each plan group, so compression is lossless.
+        assert report.max_absolute_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_business_increase_scenario(self, session):
+        """What if the ppm of the business plans increases by 10%?"""
+        scenario = Scenario("business").scale(["b1", "b2", "e"], 1.1)
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        by_key = {group.key: group for group in report.groups}
+        assert by_key[("10001",)].full_result == pytest.approx(905.25)
+        assert by_key[("10002",)].full_result == pytest.approx(437.45 * 1.1)
+        assert report.max_absolute_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_uniform_scenario_introduces_bounded_error(self, session):
+        """A scenario that splits a group is approximated by the group average."""
+        scenario = Scenario("only b1").scale(["b1"], 2.0)
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        by_key = {group.key: group for group in report.groups}
+        group = by_key[("10002",)]
+        assert group.full_result > group.baseline
+        # The compressed result moves in the same direction but differs.
+        assert group.compressed_result > group.baseline
+        assert group.absolute_error > 0.0

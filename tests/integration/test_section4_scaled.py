@@ -1,0 +1,97 @@
+"""A scaled-down reproduction of the Section 4 demonstration numbers.
+
+The paper's instance uses 1,055 zip codes, 11 plans and 12 months, for a
+provenance of 139,260 monomials, and reports compressed sizes 88,620 (bound
+94,600) and 37,980 (bound 38,600).  The structure of those numbers is
+``#zips x #plan-groups x #months``; these tests verify exactly that
+structure on an instance scaled down in the number of zip codes (the bench
+``bench_section4_compression.py`` runs the full-size instance).
+"""
+
+import pytest
+
+from repro.core.optimizer import optimize_single_tree
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.telephony import TelephonyConfig, generate_revenue_provenance
+
+ZIPS = 40
+MONTHS = 12
+PLANS = 11
+
+
+@pytest.fixture(scope="module")
+def provenance():
+    config = TelephonyConfig(
+        num_customers=ZIPS * PLANS * 2, num_zips=ZIPS, months=tuple(range(1, MONTHS + 1))
+    )
+    return generate_revenue_provenance(config)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return plans_tree()
+
+
+class TestFullSizeStructure:
+    def test_full_size(self, provenance):
+        assert provenance.size() == ZIPS * PLANS * MONTHS
+
+    def test_variable_count(self, provenance):
+        assert provenance.num_variables() == PLANS + MONTHS
+
+
+class TestPaperBoundsScaledDown:
+    def test_seven_group_bound(self, provenance, tree):
+        """The analogue of the paper's 94,600 bound: 7 plan groups survive."""
+        bound = int(ZIPS * MONTHS * 7.47)  # same ratio as 94,600 / (1055*12)
+        result = optimize_single_tree(provenance, tree, bound)
+        assert result.feasible
+        assert result.achieved_size == ZIPS * MONTHS * 7
+        assert result.cut.num_variables() == 7
+
+    def test_three_group_bound(self, provenance, tree):
+        """The analogue of the paper's 38,600 bound: the S1 cut emerges."""
+        bound = int(ZIPS * MONTHS * 3.05)
+        result = optimize_single_tree(provenance, tree, bound)
+        assert result.feasible
+        assert result.achieved_size == ZIPS * MONTHS * 3
+        assert result.cut.nodes == frozenset({"Business", "Special", "Standard"})
+
+    def test_bound_monotonicity(self, provenance, tree):
+        """Smaller bounds never yield more variables or larger provenance."""
+        sizes, variables = [], []
+        for groups in (11, 9, 7, 5, 3, 1):
+            bound = ZIPS * MONTHS * groups
+            result = optimize_single_tree(provenance, tree, bound)
+            sizes.append(result.achieved_size)
+            variables.append(result.cut.num_variables())
+        assert sizes == sorted(sizes, reverse=True)
+        assert variables == sorted(variables, reverse=True)
+
+
+class TestSessionAtScale:
+    def test_compression_speeds_up_assignment(self, provenance, tree):
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(tree)
+        session.set_bound(ZIPS * MONTHS * 3)
+        session.compress()
+        report = session.assign(speedup_repeats=2)
+        assert report.compressed_size == ZIPS * MONTHS * 3
+        assert report.speedup is not None
+        # The compressed provenance is ~3.7x smaller; assignment must not be slower.
+        assert report.speedup.optimized_seconds <= report.speedup.baseline_seconds * 1.5
+
+    def test_group_uniform_scenario_is_lossless_at_scale(self, provenance, tree):
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(tree)
+        session.set_bound(ZIPS * MONTHS * 3)
+        session.compress()
+        scenario = (
+            Scenario("quarter discount")
+            .scale(["m1", "m2", "m3"], 0.8)
+            .scale(["b1", "b2", "e"], 1.1)
+        )
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        assert report.max_relative_error < 1e-9

@@ -1,0 +1,99 @@
+"""End-to-end tests of the TPC-H workload through the COBRA session."""
+
+import pytest
+
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.workloads.abstraction_trees import nation_variable
+from repro.workloads.tpch import NATIONS_BY_REGION
+from repro.workloads.tpch_queries import (
+    all_tpch_queries,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+)
+
+
+class TestQ5Session:
+    @pytest.fixture(scope="class")
+    def item(self, tiny_tpch_catalog):
+        return q5_local_supplier_volume(tiny_tpch_catalog)
+
+    def test_compress_to_regions(self, item):
+        session = CobraSession(item.provenance)
+        session.set_abstraction_trees(item.trees)
+        # Bound allowing at most 5 monomials per order-year group: the
+        # region-level cut (5 meta-variables) is the optimum.
+        bound = len(item.provenance) * 5
+        session.set_bound(bound)
+        result = session.compress()
+        assert result.feasible
+        assert result.achieved_size <= bound
+        assert result.cut.num_variables() <= 25
+
+    def test_globally_uniform_scenario_is_lossless(self, item):
+        """A price change uniform across all nations survives any cut exactly."""
+        session = CobraSession(item.provenance)
+        session.set_abstraction_trees(item.trees)
+        session.set_bound(len(item.provenance) * 5)
+        session.compress()
+        scenario = Scenario("boost everything").scale(
+            lambda name: name.startswith("n_"), 1.2
+        )
+        report = session.assign_scenario(scenario, measure_assignment_speedup=False)
+        assert report.max_relative_error == pytest.approx(0.0, abs=1e-9)
+        assert any(group.change_from_baseline != 0.0 for group in report.groups)
+
+    def test_region_uniform_scenario_exact_under_region_cut(self, item):
+        """Scaling one region's nations is exact when the cut is region-level."""
+        from repro.core.compression import apply_abstraction
+        from repro.core.cut import Cut
+
+        tree = item.trees
+        region_nodes = [region.replace(" ", "_") for region in NATIONS_BY_REGION]
+        cut = Cut(tree, region_nodes)
+        compression = apply_abstraction(item.provenance, cut)
+
+        europe = {nation_variable(n) for n in NATIONS_BY_REGION["EUROPE"]}
+        full_valuation = {
+            name: (1.2 if name in europe else 1.0)
+            for name in item.provenance.variables()
+        }
+        compressed_valuation = {
+            name: (1.2 if name == "EUROPE" else 1.0)
+            for name in compression.compressed.variables()
+        }
+        full_results = item.provenance.evaluate(full_valuation)
+        compressed_results = compression.compressed.evaluate(compressed_valuation)
+        for key, value in full_results.items():
+            assert compressed_results[key] == pytest.approx(value)
+
+
+class TestQ6Session:
+    def test_quarter_compression(self, tiny_tpch_catalog):
+        item = q6_forecast_revenue(tiny_tpch_catalog)
+        session = CobraSession(item.provenance)
+        session.set_abstraction_trees(item.trees)
+        session.set_bound(4)
+        result = session.compress(allow_infeasible=True)
+        if result.feasible:
+            assert result.achieved_size <= 4
+        report = session.assign(measure_assignment_speedup=False)
+        assert report.full_size == item.provenance.size()
+
+
+class TestAllQueriesThroughSessions:
+    def test_every_query_supports_the_full_workflow(self, tiny_tpch_catalog):
+        for item in all_tpch_queries(tiny_tpch_catalog):
+            session = CobraSession(item.provenance)
+            session.set_abstraction_trees(item.trees)
+            full = item.provenance.size()
+            session.set_bound(max(1, full // 2))
+            result = session.compress(allow_infeasible=True)
+            panel = session.meta_variable_panel()
+            report = session.assign(measure_assignment_speedup=False)
+            assert result.achieved_size <= full
+            assert report.full_size == full
+            for row in panel:
+                assert row.members
+            # Under the identity valuation compression is always lossless.
+            assert report.max_absolute_error == pytest.approx(0.0, abs=1e-6)

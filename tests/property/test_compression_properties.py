@@ -1,0 +1,102 @@
+"""Property-based tests of the compression semantics.
+
+Two invariants matter for the soundness of hypothetical reasoning over
+compressed provenance:
+
+* compression never increases the provenance size, and coarser cuts never
+  yield larger provenance than finer ones;
+* whenever a valuation assigns the same value to all variables grouped under
+  a meta-variable, evaluating the compressed provenance (with the
+  meta-variable bound to that shared value) gives exactly the same result as
+  evaluating the full provenance — i.e. compression only removes degrees of
+  freedom, never accuracy for the scenarios it still supports.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.compression import apply_abstraction
+from repro.core.cut import enumerate_cuts, leaf_cut
+from repro.workloads.random_polynomials import random_single_tree_instance
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=500))
+    num_leaves = draw(st.integers(min_value=2, max_value=6))
+    provenance, tree = random_single_tree_instance(
+        num_leaves=num_leaves,
+        num_groups=draw(st.integers(min_value=1, max_value=3)),
+        monomials_per_group=draw(st.integers(min_value=3, max_value=12)),
+        seed=seed,
+    )
+    return provenance, tree
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_compression_is_monotone_in_the_cut(instance):
+    provenance, tree = instance
+    full_size = provenance.size()
+    for cut in enumerate_cuts(tree):
+        result = apply_abstraction(provenance, cut)
+        assert result.compressed_size <= full_size
+        # Coarsening the cut at any inner node cannot increase the size.
+        for node in tree.inner_nodes():
+            if node in cut.nodes:
+                continue
+            try:
+                coarser = cut.coarsen(node)
+            except Exception:
+                continue
+            coarser_size = apply_abstraction(provenance, coarser).compressed_size
+            assert coarser_size <= result.compressed_size
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(), st.floats(min_value=0.1, max_value=2.0, allow_nan=False))
+def test_group_uniform_valuations_are_lossless(instance, shared_value):
+    provenance, tree = instance
+    for cut in list(enumerate_cuts(tree))[:8]:
+        result = apply_abstraction(provenance, cut)
+        mapping = result.abstraction.mapping
+        full_valuation = {}
+        for name in provenance.variables():
+            if name in mapping:
+                # all members of a group share the group's value
+                full_valuation[name] = shared_value
+            else:
+                full_valuation[name] = 0.7
+        compressed_valuation = {}
+        for name in result.compressed.variables():
+            compressed_valuation[name] = (
+                shared_value if name in set(mapping.values()) else 0.7
+            )
+        full_results = provenance.evaluate(full_valuation)
+        compressed_results = result.compressed.evaluate(compressed_valuation)
+        for key, value in full_results.items():
+            assert compressed_results[key] == pytest.approx(value, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_variable_counts_follow_the_cut(instance):
+    provenance, tree = instance
+    tree_leaves = set(tree.leaves())
+    non_tree = {v for v in provenance.variables() if v not in tree_leaves}
+    for cut in list(enumerate_cuts(tree))[:10]:
+        result = apply_abstraction(provenance, cut)
+        compressed_vars = set(result.compressed.variables())
+        # Non-tree variables survive untouched.
+        assert non_tree <= compressed_vars
+        # Every other variable is a cut node.
+        assert compressed_vars - non_tree <= set(cut.nodes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_leaf_cut_is_identity(instance):
+    provenance, tree = instance
+    result = apply_abstraction(provenance, leaf_cut(tree))
+    assert result.compressed == provenance

@@ -1,0 +1,77 @@
+"""Property-based tests for abstraction trees and their cuts."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cut import Cut, count_cuts, enumerate_cuts, leaf_cut, root_cut
+from repro.workloads.random_polynomials import random_tree
+
+
+@st.composite
+def trees(draw):
+    num_leaves = draw(st.integers(min_value=1, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    max_children = draw(st.integers(min_value=2, max_value=4))
+    return random_tree(num_leaves, max_children=max_children, seed=seed)
+
+
+class TestTreeInvariants:
+    @given(trees())
+    def test_every_leaf_reaches_the_root(self, tree):
+        for leaf in tree.leaves():
+            assert tree.ancestors(leaf)[-1] == tree.root or leaf == tree.root
+
+    @given(trees())
+    def test_leaves_under_root_is_all_leaves(self, tree):
+        assert set(tree.leaves_under(tree.root)) == set(tree.leaves())
+
+    @given(trees())
+    def test_subtree_sizes_add_up(self, tree):
+        assert tree.subtree_size(tree.root) == len(tree)
+
+    @given(trees())
+    def test_children_partition_leaves(self, tree):
+        for name in tree.inner_nodes():
+            child_leaves = [
+                leaf for child in tree.children(name) for leaf in tree.leaves_under(child)
+            ]
+            assert sorted(child_leaves) == sorted(tree.leaves_under(name))
+
+
+class TestCutInvariants:
+    @settings(max_examples=30)
+    @given(trees())
+    def test_enumeration_count_matches_formula(self, tree):
+        cuts = list(enumerate_cuts(tree))
+        assert len(cuts) == count_cuts(tree)
+        assert len({cut.nodes for cut in cuts}) == len(cuts)
+
+    @settings(max_examples=30)
+    @given(trees())
+    def test_every_cut_mapping_partitions_the_leaves(self, tree):
+        for cut in enumerate_cuts(tree):
+            mapping = cut.mapping()
+            assert set(mapping) == set(tree.leaves())
+            # Each leaf maps to a node that is itself or one of its ancestors.
+            for leaf, meta in mapping.items():
+                assert meta == leaf or meta in tree.ancestors(leaf)
+
+    @settings(max_examples=30)
+    @given(trees())
+    def test_extreme_cuts_bound_the_variable_count(self, tree):
+        finest = leaf_cut(tree).num_variables()
+        coarsest = root_cut(tree).num_variables()
+        for cut in enumerate_cuts(tree):
+            assert coarsest <= cut.num_variables() <= finest
+
+    @settings(max_examples=30)
+    @given(trees(), st.integers(min_value=0, max_value=10_000))
+    def test_coarsening_reduces_or_keeps_variable_count(self, tree, seed):
+        cut = leaf_cut(tree)
+        inner = list(tree.inner_nodes())
+        if not inner:
+            return
+        node = inner[seed % len(inner)]
+        coarsened = cut.coarsen(node)
+        assert coarsened.num_variables() <= cut.num_variables()
+        # Re-validating by constructing a fresh Cut must succeed.
+        Cut(tree, coarsened.nodes)

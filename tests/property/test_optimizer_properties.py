@@ -1,0 +1,90 @@
+"""Property-based tests: the exact DP agrees with brute force, greedy is sound."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.exceptions import InfeasibleBoundError
+from repro.core.brute_force import optimize_brute_force
+from repro.core.compression import apply_abstraction
+from repro.core.greedy import optimize_greedy
+from repro.core.optimizer import build_load_model, optimize_single_tree
+from repro.core.cut import enumerate_cuts
+from repro.workloads.random_polynomials import random_single_tree_instance
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=300))
+    provenance, tree = random_single_tree_instance(
+        num_leaves=draw(st.integers(min_value=2, max_value=6)),
+        num_groups=draw(st.integers(min_value=1, max_value=3)),
+        monomials_per_group=draw(st.integers(min_value=4, max_value=12)),
+        num_extra_variables=draw(st.integers(min_value=0, max_value=3)),
+        seed=seed,
+    )
+    return provenance, tree
+
+
+@st.composite
+def instances_with_bounds(draw):
+    provenance, tree = draw(instances())
+    full = provenance.size()
+    fraction = draw(st.floats(min_value=0.05, max_value=1.1))
+    bound = max(0, int(full * fraction))
+    return provenance, tree, bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_load_model_predicts_exact_sizes(instance):
+    provenance, tree = instance
+    model = build_load_model(provenance, tree)
+    for cut in enumerate_cuts(tree):
+        predicted = model.cut_size(cut)
+        actual = apply_abstraction(provenance, cut).compressed_size
+        assert predicted == actual
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances_with_bounds())
+def test_dp_matches_brute_force(instance):
+    provenance, tree, bound = instance
+    try:
+        dp = optimize_single_tree(provenance, tree, bound)
+    except InfeasibleBoundError:
+        with pytest.raises(InfeasibleBoundError):
+            optimize_brute_force(provenance, tree, bound)
+        return
+    bf = optimize_brute_force(provenance, tree, bound)
+    assert dp.achieved_size <= bound
+    assert bf.achieved_size <= bound
+    assert dp.cut.num_variables() == bf.cut.num_variables()
+    assert dp.predicted_size == dp.achieved_size
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances_with_bounds())
+def test_greedy_is_feasible_whenever_dp_is(instance):
+    provenance, tree, bound = instance
+    try:
+        dp = optimize_single_tree(provenance, tree, bound)
+    except InfeasibleBoundError:
+        return
+    greedy = optimize_greedy(provenance, tree, bound)
+    assert greedy.achieved_size <= bound
+    assert greedy.num_variables <= dp.num_variables + len(tree.leaves())
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_infeasible_flag_consistency(instance):
+    provenance, tree = instance
+    # A bound of 0 is infeasible unless the provenance itself is empty.
+    if provenance.size() == 0:
+        return
+    result = optimize_single_tree(provenance, tree, 0, allow_infeasible=True)
+    assert not result.feasible
+    # The infeasible fallback is the smallest achievable abstraction.
+    brute = optimize_brute_force(provenance, tree, 0, allow_infeasible=True)
+    assert result.achieved_size == brute.achieved_size

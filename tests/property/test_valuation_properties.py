@@ -1,0 +1,95 @@
+"""Property-based tests: the compiled evaluators agree with naive evaluation."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import (
+    CompiledPolynomial,
+    CompiledProvenanceSet,
+    Valuation,
+)
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e", "f"]
+
+
+@st.composite
+def polynomials(draw, max_terms=8):
+    terms = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+        exponents = draw(
+            st.dictionaries(
+                st.sampled_from(VARIABLE_NAMES),
+                st.integers(min_value=1, max_value=3),
+                max_size=3,
+            )
+        )
+        coefficient = draw(
+            st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+        )
+        monomial = Monomial(exponents)
+        terms[monomial] = terms.get(monomial, 0.0) + coefficient
+    return Polynomial(terms)
+
+
+@st.composite
+def provenance_sets(draw, max_groups=4):
+    result = ProvenanceSet()
+    for index in range(draw(st.integers(min_value=1, max_value=max_groups))):
+        result[(f"g{index}",)] = draw(polynomials())
+    return result
+
+
+@st.composite
+def valuations(draw):
+    return Valuation(
+        {
+            name: draw(
+                st.floats(
+                    min_value=-2.5, max_value=2.5, allow_nan=False, allow_infinity=False
+                )
+            )
+            for name in VARIABLE_NAMES
+        }
+    )
+
+
+class TestCompiledPolynomial:
+    @settings(max_examples=60)
+    @given(polynomials(), valuations())
+    def test_matches_naive_evaluation(self, polynomial, valuation):
+        compiled = CompiledPolynomial(polynomial)
+        assert compiled.evaluate(valuation) == pytest.approx(
+            polynomial.evaluate(valuation), rel=1e-6, abs=1e-6
+        )
+
+    @given(polynomials())
+    def test_monomial_count_preserved(self, polynomial):
+        assert CompiledPolynomial(polynomial).num_monomials() == polynomial.num_monomials()
+
+
+class TestCompiledProvenanceSet:
+    @settings(max_examples=40)
+    @given(provenance_sets(), valuations())
+    def test_matches_naive_evaluation(self, provenance, valuation):
+        compiled = CompiledProvenanceSet(provenance)
+        naive = provenance.evaluate(valuation)
+        fast = compiled.evaluate(valuation)
+        assert set(fast) == set(naive)
+        for key in naive:
+            assert fast[key] == pytest.approx(naive[key], rel=1e-6, abs=1e-6)
+
+    @given(provenance_sets())
+    def test_size_preserved(self, provenance):
+        assert CompiledProvenanceSet(provenance).size() == provenance.size()
+
+    @settings(max_examples=40)
+    @given(provenance_sets(), valuations())
+    def test_vector_and_mapping_agree(self, provenance, valuation):
+        compiled = CompiledProvenanceSet(provenance)
+        vector = compiled.evaluate_vector(valuation)
+        mapping = compiled.evaluate(valuation)
+        for index, key in enumerate(compiled.keys):
+            assert vector[index] == pytest.approx(mapping[key], rel=1e-9, abs=1e-9)

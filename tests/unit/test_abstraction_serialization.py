@@ -1,0 +1,73 @@
+"""Unit tests for abstraction (de)serialisation and the CLI summary output."""
+
+import json
+
+import pytest
+
+from repro.core.compression import Abstraction, apply_abstraction
+from repro.core.cut import Cut
+from repro.exceptions import AbstractionError
+from repro.workloads.abstraction_trees import plans_tree
+from repro.workloads.telephony import example2_provenance
+
+
+class TestAbstractionRoundTrip:
+    def test_round_trip_from_groups(self):
+        abstraction = Abstraction.from_groups(
+            {"SB": ["b1", "b2"], "F": ["f1", "f2"]}
+        )
+        restored = Abstraction.from_dict(abstraction.to_dict())
+        assert restored.grouped_variables() == abstraction.grouped_variables()
+
+    def test_round_trip_from_cut(self):
+        tree = plans_tree()
+        abstraction = Abstraction.from_cut(
+            Cut.of(tree, "Business", "Special", "Standard")
+        )
+        restored = Abstraction.from_dict(
+            json.loads(json.dumps(abstraction.to_dict()))
+        )
+        assert restored.mapping == dict(abstraction.mapping)
+
+    def test_restored_abstraction_compresses_identically(self):
+        provenance = example2_provenance()
+        tree = plans_tree()
+        original = Abstraction.from_cut(Cut.of(tree, "Plans"))
+        restored = Abstraction.from_dict(original.to_dict())
+        assert (
+            apply_abstraction(provenance, original).compressed
+            == apply_abstraction(provenance, restored).compressed
+        )
+
+    def test_missing_groups_rejected(self):
+        with pytest.raises(AbstractionError):
+            Abstraction.from_dict({})
+
+
+class TestCliSummaryOutput:
+    def test_compress_writes_summary(self, tmp_path, capsys):
+        from repro.cli.main import main
+        from repro.provenance.serialization import save_provenance_set
+
+        provenance_path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), provenance_path)
+        tree_path = tmp_path / "tree.json"
+        tree_path.write_text(json.dumps(plans_tree().to_dict()))
+        summary_path = tmp_path / "summary.json"
+
+        code = main(
+            [
+                "compress",
+                "--input", str(provenance_path),
+                "--tree", str(tree_path),
+                "--bound", "6",
+                "--summary", str(summary_path),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["original_size"] == 14
+        assert summary["compressed_size"] <= 6
+        assert summary["feasible"] is True
+        assert "abstraction" in summary and "groups" in summary["abstraction"]
+        capsys.readouterr()

@@ -1,0 +1,144 @@
+"""Unit tests for abstraction trees and forests."""
+
+import pytest
+
+from repro.exceptions import InvalidTreeError
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.workloads.abstraction_trees import months_tree, plans_tree
+
+
+class TestConstruction:
+    def test_simple_tree(self, simple_tree):
+        assert simple_tree.root == "R"
+        assert set(simple_tree.leaves()) == {"a1", "a2", "c1", "c2", "b1"}
+        assert set(simple_tree.inner_nodes()) == {"R", "A", "B", "C"}
+        assert len(simple_tree) == 9
+
+    def test_from_nested(self):
+        tree = AbstractionTree.from_nested(
+            "Plans",
+            {
+                "Standard": ["p1", "p2"],
+                "Special": {"F": ["f1", "f2"], "v": None},
+            },
+        )
+        assert set(tree.leaves()) == {"p1", "p2", "f1", "f2", "v"}
+        assert tree.parent("F") == "Special"
+
+    def test_from_groups(self):
+        tree = AbstractionTree.from_groups("Year", {"q1": ["m1", "m2"], "q2": ["m3"]})
+        assert tree.children("Year") == ("q1", "q2")
+        assert tree.leaves_under("q1") == ("m1", "m2")
+
+    def test_flat(self):
+        tree = AbstractionTree.flat("Root", ["a", "b", "c"])
+        assert tree.leaves() == ("a", "b", "c")
+        assert tree.height() == 1
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree("R", {"R": ["a", "b"], "a": ["x"], "b": ["x"]})
+
+    def test_disconnected_node_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree("R", {"R": ["a"], "orphan": ["b"]})
+
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree("R", {"R": ["a"], "a": ["R"]})
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree("R", {"R": ["a", "a"]})
+
+    def test_single_leaf_root_rejected_when_no_edges(self):
+        # A root with no children is a single-leaf tree; it is allowed.
+        tree = AbstractionTree("R", {})
+        assert tree.leaves() == ("R",)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(Exception):
+            AbstractionTree("R", {"R": ["bad name"]})
+
+
+class TestNavigation:
+    def test_node_lookup(self, simple_tree):
+        node = simple_tree.node("B")
+        assert node.children == ("C", "b1")
+        assert node.parent == "R"
+        assert not node.is_leaf
+        assert simple_tree.node("R").is_root
+
+    def test_unknown_node(self, simple_tree):
+        with pytest.raises(InvalidTreeError):
+            simple_tree.node("missing")
+
+    def test_contains(self, simple_tree):
+        assert "C" in simple_tree
+        assert "missing" not in simple_tree
+
+    def test_leaves_under(self, simple_tree):
+        assert set(simple_tree.leaves_under("B")) == {"c1", "c2", "b1"}
+        assert simple_tree.leaves_under("a1") == ("a1",)
+        assert set(simple_tree.leaves_under("R")) == set(simple_tree.leaves())
+
+    def test_ancestors_and_depth(self, simple_tree):
+        assert simple_tree.ancestors("c1") == ("C", "B", "R")
+        assert simple_tree.depth("c1") == 3
+        assert simple_tree.depth("R") == 0
+        assert simple_tree.height() == 3
+
+    def test_subtree_size(self, simple_tree):
+        assert simple_tree.subtree_size("C") == 3
+        assert simple_tree.subtree_size("R") == 9
+
+    def test_preorder_starts_at_root(self, simple_tree):
+        assert simple_tree.nodes()[0] == "R"
+
+    def test_is_leaf(self, simple_tree):
+        assert simple_tree.is_leaf("a1")
+        assert not simple_tree.is_leaf("A")
+
+    def test_to_ascii_mentions_every_node(self, simple_tree):
+        rendering = simple_tree.to_ascii()
+        for name in simple_tree.nodes():
+            assert name in rendering
+
+
+class TestPaperTrees:
+    def test_figure2_tree_structure(self):
+        tree = plans_tree()
+        assert set(tree.leaves()) == {
+            "p1", "p2", "f1", "f2", "y1", "y2", "y3", "v", "b1", "b2", "e",
+        }
+        assert set(tree.children("Plans")) == {"Standard", "Special", "Business"}
+        assert set(tree.leaves_under("Business")) == {"b1", "b2", "e"}
+        assert set(tree.leaves_under("Special")) == {"f1", "f2", "y1", "y2", "y3", "v"}
+
+    def test_months_tree_quarters(self):
+        tree = months_tree(12)
+        assert len(tree.leaves()) == 12
+        assert set(tree.children("Year")) == {"q1", "q2", "q3", "q4"}
+        assert tree.leaves_under("q2") == ("m4", "m5", "m6")
+
+    def test_months_tree_partial_year(self):
+        tree = months_tree(7)
+        assert tree.leaves_under("q3") == ("m7",)
+
+
+class TestForest:
+    def test_forest_of_disjoint_trees(self):
+        forest = AbstractionForest([plans_tree(), months_tree(12)])
+        assert len(forest) == 2
+        assert forest.tree_of("m4").root == "Year"
+        assert forest.tree_of("b1").root == "Plans"
+        assert forest.tree_of("unknown") is None
+        assert len(forest.leaves()) == 23
+
+    def test_overlapping_trees_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionForest([plans_tree(), plans_tree()])
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionForest([])

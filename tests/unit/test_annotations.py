@@ -1,0 +1,113 @@
+"""Unit tests for the instrumentation policies."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.db.annotations import (
+    CellParameterizationPolicy,
+    TupleAnnotationPolicy,
+    instrument_table,
+)
+from repro.db.schema import ColumnType, Schema
+from repro.db.table import Table
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.variables import VariableRegistry
+
+
+@pytest.fixture
+def plans_table():
+    schema = Schema.of(
+        ("Plan", ColumnType.STRING), ("Mo", ColumnType.INTEGER), ("Price", ColumnType.FLOAT)
+    )
+    return Table("Plans", schema, [("A", 1, 0.4), ("A", 3, 0.5), ("V", 1, 0.25)])
+
+
+class TestTupleAnnotationPolicy:
+    def test_fresh_names_by_default(self, plans_table):
+        policy = TupleAnnotationPolicy()
+        provider = policy.annotation_provider(plans_table)
+        first = provider({"Plan": "A", "Mo": 1, "Price": 0.4})
+        second = provider({"Plan": "A", "Mo": 3, "Price": 0.5})
+        assert first == Polynomial.variable("plans_t_1")
+        assert second == Polynomial.variable("plans_t_2")
+        assert "plans_t_1" in policy.registry
+
+    def test_namer_single_variable(self, plans_table):
+        policy = TupleAnnotationPolicy(namer=lambda row: f"plan_{row['Plan']}".lower())
+        provider = policy.annotation_provider(plans_table)
+        assert provider({"Plan": "A"}) == Polynomial.variable("plan_a")
+
+    def test_namer_multiple_variables(self, plans_table):
+        policy = TupleAnnotationPolicy(
+            namer=lambda row: (f"plan_{row['Plan']}".lower(), f"m{row['Mo']}")
+        )
+        provider = policy.annotation_provider(plans_table)
+        annotation = provider({"Plan": "A", "Mo": 3})
+        assert annotation.coefficient(Monomial.of("plan_a", "m3")) == pytest.approx(1.0)
+
+    def test_registry_records_table(self, plans_table):
+        policy = TupleAnnotationPolicy(namer=lambda row: "t1")
+        policy.annotation_provider(plans_table)({"Plan": "A"})
+        assert policy.registry.get("t1").table == "Plans"
+
+
+class TestCellParameterizationPolicy:
+    def test_parameterises_cells(self, plans_table):
+        policy = CellParameterizationPolicy(
+            column="Price",
+            namer=lambda row: ("p1" if row["Plan"] == "A" else "v", f"m{row['Mo']}"),
+        )
+        table = policy.apply(plans_table)
+        assert table.schema.column("Price").type is ColumnType.SYMBOLIC
+        first = table.rows()[0][2]
+        assert isinstance(first, Polynomial)
+        assert first.coefficient(Monomial.of("p1", "m1")) == pytest.approx(0.4)
+
+    def test_original_table_untouched(self, plans_table):
+        policy = CellParameterizationPolicy(column="Price", namer=lambda row: "x")
+        policy.apply(plans_table)
+        assert plans_table.schema.column("Price").type is ColumnType.FLOAT
+        assert plans_table.rows()[0][2] == pytest.approx(0.4)
+
+    def test_requires_namer(self, plans_table):
+        with pytest.raises(SchemaError):
+            CellParameterizationPolicy(column="Price").apply(plans_table)
+
+    def test_rejects_non_numeric_cells(self):
+        table = Table("T", Schema.of(("a", ColumnType.STRING)), [("x",)])
+        policy = CellParameterizationPolicy(column="a", namer=lambda row: "v")
+        with pytest.raises(SchemaError):
+            policy.apply(table)
+
+    def test_unknown_column_rejected(self, plans_table):
+        policy = CellParameterizationPolicy(column="Nope", namer=lambda row: "v")
+        with pytest.raises(Exception):
+            policy.apply(plans_table)
+
+    def test_registry_records_variables(self, plans_table):
+        registry = VariableRegistry()
+        policy = CellParameterizationPolicy(
+            column="Price", namer=lambda row: f"m{row['Mo']}", registry=registry
+        )
+        policy.apply(plans_table)
+        assert "m1" in registry and "m3" in registry
+        assert registry.get("m1").column == "Price"
+
+
+class TestInstrumentTable:
+    def test_cell_policy_returns_new_table(self, plans_table):
+        policy = CellParameterizationPolicy(column="Price", namer=lambda row: "x")
+        table, provider = instrument_table(plans_table, policy)
+        assert provider is None
+        assert table is not plans_table
+
+    def test_tuple_policy_returns_provider(self, plans_table):
+        policy = TupleAnnotationPolicy()
+        table, provider = instrument_table(plans_table, policy)
+        assert table is plans_table
+        assert callable(provider)
+
+    def test_unknown_policy_rejected(self, plans_table):
+        with pytest.raises(SchemaError):
+            instrument_table(plans_table, object())

@@ -1,0 +1,78 @@
+"""Unit tests for the exhaustive (brute-force) optimiser."""
+
+import pytest
+
+from repro.exceptions import InfeasibleBoundError
+from repro.core.abstraction_tree import AbstractionTree
+from repro.core.brute_force import optimize_brute_force
+from repro.core.cut import leaf_cut, root_cut
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+class TestBruteForce:
+    def test_loose_bound_keeps_leaf_cut(self, simple_provenance, simple_tree):
+        result = optimize_brute_force(simple_provenance, simple_tree, bound=100)
+        assert result.cut == leaf_cut(simple_tree)
+        assert result.feasible
+        assert result.algorithm == "brute-force"
+
+    def test_tight_bound_forces_root(self, simple_provenance, simple_tree):
+        result = optimize_brute_force(simple_provenance, simple_tree, bound=5)
+        assert result.cut == root_cut(simple_tree)
+
+    def test_infeasible_raises(self, simple_provenance, simple_tree):
+        with pytest.raises(InfeasibleBoundError):
+            optimize_brute_force(simple_provenance, simple_tree, bound=1)
+
+    def test_infeasible_allowed_returns_smallest(self, simple_provenance, simple_tree):
+        result = optimize_brute_force(
+            simple_provenance, simple_tree, bound=1, allow_infeasible=True
+        )
+        assert not result.feasible
+        assert result.achieved_size == 5
+
+    def test_negative_bound_rejected(self, simple_provenance, simple_tree):
+        with pytest.raises(ValueError):
+            optimize_brute_force(simple_provenance, simple_tree, bound=-1)
+
+    def test_max_cuts_guard(self, simple_provenance, simple_tree):
+        with pytest.raises(ValueError):
+            optimize_brute_force(simple_provenance, simple_tree, bound=10, max_cuts=3)
+
+    def test_handles_monomials_with_two_tree_variables(self):
+        """Unlike the DP, brute force measures sizes by actually applying cuts."""
+        tree = AbstractionTree("R", {"R": ["x", "y"]})
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial(
+            {
+                Monomial.of("x", "y"): 1.0,
+                Monomial({"x": 2}): 2.0,
+                Monomial({"y": 2}): 3.0,
+            }
+        )
+        # Collapsing x and y into R turns all three monomials into R^2.
+        result = optimize_brute_force(provenance, tree, bound=1)
+        assert result.cut == root_cut(tree)
+        assert result.achieved_size == 1
+        assert result.compressed[("g",)].coefficient(
+            Monomial({"R": 2})
+        ) == pytest.approx(6.0)
+
+    def test_tie_breaking_prefers_smaller_size(self, simple_tree):
+        # Two cuts with the same number of variables: prefer the smaller size.
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial(
+            {
+                Monomial.of("a1"): 1.0,
+                Monomial.of("a2"): 1.0,
+                Monomial.of("c1"): 1.0,
+                Monomial.of("c2"): 1.0,
+                Monomial.of("b1"): 1.0,
+            }
+        )
+        result = optimize_brute_force(provenance, simple_tree, bound=4)
+        assert result.achieved_size <= 4
+        # No 5-variable cut fits the bound (the leaf cut has size 5), so the
+        # optimum has 4 variables.
+        assert result.cut.num_variables() == 4

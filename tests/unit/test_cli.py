@@ -1,0 +1,128 @@
+"""Unit tests for the ``cobra`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.provenance.serialization import save_provenance_set
+from repro.workloads.telephony import example2_provenance
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("demo", "telephony", "tpch", "compress"):
+            assert command in text
+
+
+class TestDemoCommand:
+    def test_demo_runs_and_reports(self, capsys):
+        assert main(["demo", "--bound", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "Provenance polynomials" in output
+        assert "Abstraction tree" in output
+        assert "Chosen cut" in output
+        assert "assignment speedup" in output
+
+    def test_demo_root_bound(self, capsys):
+        assert main(["demo", "--bound", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "'Plans'" in output
+
+
+class TestTelephonyCommand:
+    def test_small_instance(self, capsys):
+        assert (
+            main(
+                [
+                    "telephony",
+                    "--customers", "200",
+                    "--zips", "5",
+                    "--months", "6",
+                    "--bounds", "250", "120",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Full provenance size: 330" in output
+        assert "bound" in output
+        assert "speedup" in output
+
+
+class TestTpchCommand:
+    def test_tiny_scale(self, capsys):
+        assert main(["tpch", "--scale", "0.0002", "--ratio", "0.6"]) == 0
+        output = capsys.readouterr().out
+        for name in ("Q1", "Q3", "Q5", "Q6", "Q10"):
+            assert name in output
+
+
+class TestStatsCommand:
+    def test_stats_without_tree(self, tmp_path, capsys):
+        provenance_path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), provenance_path)
+        assert main(["stats", "--input", str(provenance_path)]) == 0
+        output = capsys.readouterr().out
+        assert "monomials: 14" in output
+        assert "variables: 9" in output
+
+    def test_stats_with_tree_prints_profile(self, tmp_path, capsys):
+        provenance_path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), provenance_path)
+        tree_path = tmp_path / "tree.json"
+        from repro.workloads.abstraction_trees import plans_tree
+
+        tree_path.write_text(json.dumps(plans_tree().to_dict()))
+        assert main(
+            ["stats", "--input", str(provenance_path), "--tree", str(tree_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "size profile" in output
+        assert "14" in output  # the leaf-cut size appears in the profile
+
+
+class TestCompressCommand:
+    def test_compress_round_trip(self, tmp_path, capsys):
+        provenance_path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), provenance_path)
+        tree_path = tmp_path / "tree.json"
+        tree_path.write_text(
+            json.dumps(
+                {
+                    "root": "Plans",
+                    "edges": {
+                        "Plans": ["Standard", "Special", "Business"],
+                        "Standard": ["p1", "p2"],
+                        "Special": ["F", "Y", "v"],
+                        "F": ["f1", "f2"],
+                        "Y": ["y1", "y2", "y3"],
+                        "Business": ["SB", "e"],
+                        "SB": ["b1", "b2"],
+                    },
+                }
+            )
+        )
+        output_path = tmp_path / "compressed.json"
+        code = main(
+            [
+                "compress",
+                "--input", str(provenance_path),
+                "--tree", str(tree_path),
+                "--bound", "8",
+                "--output", str(output_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "size: 14 ->" in output
+        assert output_path.exists()
+        compressed = json.loads(output_path.read_text())
+        total = sum(len(group["polynomial"]["terms"]) for group in compressed["groups"])
+        assert total <= 8

@@ -1,0 +1,114 @@
+"""Unit tests for cuts of abstraction trees."""
+
+import pytest
+
+from repro.exceptions import InvalidCutError
+from repro.core.cut import Cut, count_cuts, enumerate_cuts, leaf_cut, root_cut
+from repro.workloads.abstraction_trees import plans_tree
+
+
+class TestValidation:
+    def test_valid_cut(self, simple_tree):
+        cut = Cut.of(simple_tree, "A", "C", "b1")
+        assert len(cut) == 3
+        assert "A" in cut
+
+    def test_root_is_a_cut(self, simple_tree):
+        assert root_cut(simple_tree).is_root_cut()
+
+    def test_leaf_cut(self, simple_tree):
+        cut = leaf_cut(simple_tree)
+        assert cut.is_leaf_cut()
+        assert cut.num_variables() == 5
+
+    def test_uncovered_leaf_rejected(self, simple_tree):
+        with pytest.raises(InvalidCutError):
+            Cut.of(simple_tree, "A", "C")  # b1 uncovered
+
+    def test_doubly_covered_leaf_rejected(self, simple_tree):
+        with pytest.raises(InvalidCutError):
+            Cut.of(simple_tree, "R", "A")  # a1 covered twice
+
+    def test_unknown_node_rejected(self, simple_tree):
+        with pytest.raises(InvalidCutError):
+            Cut.of(simple_tree, "A", "B", "zzz")
+
+    def test_empty_cut_rejected(self, simple_tree):
+        with pytest.raises(InvalidCutError):
+            Cut(simple_tree, [])
+
+
+class TestSemantics:
+    def test_mapping_groups_leaves(self, simple_tree):
+        cut = Cut.of(simple_tree, "A", "B")
+        mapping = cut.mapping()
+        assert mapping == {
+            "a1": "A", "a2": "A", "c1": "B", "c2": "B", "b1": "B",
+        }
+
+    def test_mapping_keeps_leaf_nodes_fixed(self, simple_tree):
+        mapping = leaf_cut(simple_tree).mapping()
+        assert all(key == value for key, value in mapping.items())
+
+    def test_grouped_leaves(self, simple_tree):
+        grouped = Cut.of(simple_tree, "A", "C", "b1").grouped_leaves()
+        assert grouped["A"] == ("a1", "a2")
+        assert grouped["C"] == ("c1", "c2")
+        assert grouped["b1"] == ("b1",)
+
+    def test_coarsen(self, simple_tree):
+        cut = leaf_cut(simple_tree).coarsen("C")
+        assert cut.nodes == frozenset({"a1", "a2", "C", "b1"})
+        coarser = cut.coarsen("R")
+        assert coarser.is_root_cut()
+
+    def test_coarsen_noop_region_rejected(self, simple_tree):
+        cut = Cut.of(simple_tree, "A", "B")
+        with pytest.raises(InvalidCutError):
+            cut.coarsen("C")  # C is below the existing cut node B? -> replaced set empty
+        with pytest.raises(InvalidCutError):
+            cut.coarsen("zzz")
+
+    def test_coarsen_at_cut_node_returns_same_nodes(self, simple_tree):
+        cut = Cut.of(simple_tree, "A", "B")
+        assert cut.coarsen("A").nodes == cut.nodes
+
+    def test_iteration_in_preorder(self, simple_tree):
+        cut = Cut.of(simple_tree, "b1", "A", "C")
+        assert list(cut) == ["A", "C", "b1"]
+
+    def test_equality_and_hash(self, simple_tree):
+        assert Cut.of(simple_tree, "A", "B") == Cut.of(simple_tree, "B", "A")
+        assert hash(Cut.of(simple_tree, "A", "B")) == hash(Cut.of(simple_tree, "B", "A"))
+        assert Cut.of(simple_tree, "A", "B") != leaf_cut(simple_tree)
+
+
+class TestEnumeration:
+    def test_enumerate_simple_tree(self, simple_tree):
+        cuts = list(enumerate_cuts(simple_tree))
+        # R: 1 + (#cuts of A) * (#cuts of B); A: 1+1=2; B: 1 + (C:2 * b1:1) = 3
+        assert len(cuts) == 1 + 2 * 3
+        assert len({cut.nodes for cut in cuts}) == len(cuts)
+
+    def test_count_matches_enumeration(self, simple_tree):
+        assert count_cuts(simple_tree) == len(list(enumerate_cuts(simple_tree)))
+
+    def test_every_enumerated_cut_is_valid(self, simple_tree):
+        for cut in enumerate_cuts(simple_tree):
+            # Constructing a Cut re-validates; also the mapping must cover all leaves.
+            assert set(cut.mapping()) == set(simple_tree.leaves())
+
+    def test_paper_cuts_are_enumerated(self):
+        tree = plans_tree()
+        enumerated = {frozenset(cut.nodes) for cut in enumerate_cuts(tree)}
+        s1 = frozenset({"Business", "Special", "Standard"})
+        s2 = frozenset({"SB", "e", "f1", "f2", "Y", "v", "Standard"})
+        s3 = frozenset({"b1", "b2", "e", "Special", "Standard"})
+        s4 = frozenset({"SB", "e", "F", "Y", "v", "p1", "p2"})
+        s5 = frozenset({"Plans"})
+        for cut in (s1, s2, s3, s4, s5):
+            assert cut in enumerated
+
+    def test_plans_tree_cut_count(self):
+        tree = plans_tree()
+        assert count_cuts(tree) == len(list(enumerate_cuts(tree)))

@@ -1,0 +1,112 @@
+"""Unit tests for default meta-variable valuations."""
+
+import pytest
+
+from repro.exceptions import AbstractionError
+from repro.core.compression import Abstraction
+from repro.core.defaults import default_meta_valuation
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+@pytest.fixture
+def abstraction():
+    return Abstraction.from_groups({"SB": ["b1", "b2"], "Y": ["y1", "y2", "y3"]})
+
+
+@pytest.fixture
+def original_valuation():
+    return {
+        "b1": 1.0,
+        "b2": 2.0,
+        "y1": 0.9,
+        "y2": 1.0,
+        "y3": 1.1,
+        "m1": 0.8,
+    }
+
+
+class TestMeanDefaults:
+    def test_average_of_members(self, abstraction, original_valuation):
+        defaults = default_meta_valuation(abstraction, original_valuation)
+        assert defaults["SB"] == pytest.approx(1.5)
+        assert defaults["Y"] == pytest.approx(1.0)
+
+    def test_untouched_variables_keep_their_values(self, abstraction, original_valuation):
+        defaults = default_meta_valuation(abstraction, original_valuation)
+        assert defaults["m1"] == pytest.approx(0.8)
+
+    def test_missing_member_value_raises(self, abstraction):
+        with pytest.raises(AbstractionError):
+            default_meta_valuation(abstraction, {"b1": 1.0})
+
+    def test_missing_members_skipped_when_requested(self, abstraction):
+        defaults = default_meta_valuation(
+            abstraction,
+            {"b1": 2.0, "y1": 0.5, "y2": 1.5},
+            on_missing="skip",
+        )
+        # b2 is missing: the SB default is the average of the present members.
+        assert defaults["SB"] == pytest.approx(2.0)
+        assert defaults["Y"] == pytest.approx(1.0)
+
+    def test_group_with_no_valued_members_uses_fallback(self, abstraction):
+        defaults = default_meta_valuation(
+            abstraction, {"y1": 1.0, "y2": 1.0, "y3": 1.0},
+            on_missing="skip", fallback=0.7,
+        )
+        assert defaults["SB"] == pytest.approx(0.7)
+
+    def test_unknown_on_missing_policy_rejected(self, abstraction, original_valuation):
+        with pytest.raises(AbstractionError):
+            default_meta_valuation(
+                abstraction, original_valuation, on_missing="ignore"
+            )
+
+    def test_identity_valuation_gives_identity_defaults(self, abstraction):
+        valuation = {name: 1.0 for name in ("b1", "b2", "y1", "y2", "y3")}
+        defaults = default_meta_valuation(abstraction, valuation)
+        assert defaults["SB"] == pytest.approx(1.0)
+        assert defaults["Y"] == pytest.approx(1.0)
+
+
+class TestWeightedDefaults:
+    def test_weights_follow_coefficient_mass(self, abstraction, original_valuation):
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial(
+            {
+                Monomial.of("b1"): 9.0,   # b1 carries 9x the mass of b2
+                Monomial.of("b2"): 1.0,
+                Monomial.of("y1"): 1.0,
+                Monomial.of("y2"): 1.0,
+                Monomial.of("y3"): 1.0,
+            }
+        )
+        defaults = default_meta_valuation(
+            abstraction, original_valuation, reducer="weighted", provenance=provenance
+        )
+        assert defaults["SB"] == pytest.approx((9 * 1.0 + 1 * 2.0) / 10)
+        assert defaults["Y"] == pytest.approx(1.0)
+
+    def test_weighted_requires_provenance(self, abstraction, original_valuation):
+        with pytest.raises(AbstractionError):
+            default_meta_valuation(abstraction, original_valuation, reducer="weighted")
+
+    def test_zero_mass_falls_back_to_mean(self, abstraction, original_valuation):
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial({Monomial.of("unrelated"): 1.0})
+        defaults = default_meta_valuation(
+            abstraction, original_valuation, reducer="weighted", provenance=provenance
+        )
+        assert defaults["SB"] == pytest.approx(1.5)
+
+
+class TestCustomReducer:
+    def test_callable_reducer(self, abstraction, original_valuation):
+        defaults = default_meta_valuation(abstraction, original_valuation, reducer=max)
+        assert defaults["SB"] == pytest.approx(2.0)
+        assert defaults["Y"] == pytest.approx(1.1)
+
+    def test_unknown_reducer_rejected(self, abstraction, original_valuation):
+        with pytest.raises(AbstractionError):
+            default_meta_valuation(abstraction, original_valuation, reducer="median!")

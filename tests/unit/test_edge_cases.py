@@ -1,0 +1,212 @@
+"""Edge-case and failure-injection tests across the stack.
+
+These exercise the paths a production user hits when something is empty,
+degenerate or malformed: empty provenance, single-node trees, groups with a
+single monomial, huge exponents, queries over empty tables, and sessions
+driven in unusual (but legal) orders.
+"""
+
+import pytest
+
+from repro.core.abstraction_tree import AbstractionTree
+from repro.core.compression import Abstraction, apply_abstraction
+from repro.core.cut import Cut, enumerate_cuts, leaf_cut, root_cut
+from repro.core.optimizer import compute_size_profile, optimize_single_tree
+from repro.db.catalog import Catalog
+from repro.db.executor import execute, to_provenance_set
+from repro.db.expressions import col
+from repro.db.query import Query
+from repro.db.schema import ColumnType, Schema
+from repro.db.table import Table
+from repro.engine.session import CobraSession
+from repro.exceptions import InfeasibleBoundError
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+class TestEmptyProvenance:
+    def test_empty_set_compresses_trivially(self):
+        provenance = ProvenanceSet()
+        tree = AbstractionTree.flat("R", ["x", "y"])
+        result = optimize_single_tree(provenance, tree, bound=0)
+        assert result.feasible
+        assert result.achieved_size == 0
+        # Every variable of the tree can be kept.
+        assert result.cut.is_leaf_cut()
+
+    def test_empty_session(self):
+        provenance = ProvenanceSet()
+        session = CobraSession(provenance)
+        session.set_abstraction_trees(AbstractionTree.flat("R", ["x"]))
+        session.set_bound(0)
+        session.compress()
+        report = session.assign(measure_assignment_speedup=False)
+        assert report.groups == ()
+        assert report.full_size == 0
+
+    def test_zero_polynomial_group(self):
+        provenance = ProvenanceSet()
+        provenance[("empty",)] = Polynomial.zero()
+        provenance[("real",)] = Polynomial.variable("x", 2.0)
+        tree = AbstractionTree.flat("R", ["x"])
+        result = optimize_single_tree(provenance, tree, bound=1)
+        assert result.achieved_size == 1
+        values = result.compressed.evaluate({"x": 3.0, "R": 3.0})
+        assert values[("empty",)] == pytest.approx(0.0)
+
+
+class TestDegenerateTrees:
+    def test_single_leaf_tree(self):
+        tree = AbstractionTree("x", {})
+        provenance = ProvenanceSet({("g",): Polynomial.variable("x", 5.0)})
+        assert list(enumerate_cuts(tree)) == [Cut(tree, ["x"])]
+        result = optimize_single_tree(provenance, tree, bound=1)
+        assert result.cut.is_leaf_cut() and result.cut.is_root_cut()
+
+    def test_tree_over_absent_variables(self):
+        """A tree whose leaves never occur in the provenance is harmless."""
+        tree = AbstractionTree.flat("R", ["unused1", "unused2"])
+        provenance = ProvenanceSet({("g",): Polynomial.variable("z", 1.0)})
+        result = optimize_single_tree(provenance, tree, bound=1)
+        assert result.feasible
+        assert result.achieved_size == 1
+        assert result.compressed == provenance
+
+    def test_deep_chain_tree(self):
+        # A unary chain: R -> a -> b (b is the only leaf).
+        tree = AbstractionTree("R", {"R": ["a"], "a": ["b"]})
+        provenance = ProvenanceSet({("g",): Polynomial.variable("b", 1.0)})
+        cuts = {frozenset(cut.nodes) for cut in enumerate_cuts(tree)}
+        assert cuts == {frozenset({"R"}), frozenset({"a"}), frozenset({"b"})}
+        result = optimize_single_tree(provenance, tree, bound=1)
+        assert result.cut.num_variables() == 1
+
+    def test_profile_on_tree_with_unused_leaves(self):
+        tree = AbstractionTree.flat("R", ["x", "unused"])
+        provenance = ProvenanceSet({("g",): Polynomial.variable("x", 1.0)})
+        profile = compute_size_profile(provenance, tree)
+        assert profile == {1: 1, 2: 1}
+
+
+class TestExtremeExponentsAndCoefficients:
+    def test_high_exponents_survive_the_pipeline(self):
+        provenance = ProvenanceSet(
+            {("g",): Polynomial({Monomial({"x": 7, "m": 1}): 2.0})}
+        )
+        tree = AbstractionTree.flat("R", ["x", "y"])
+        result = optimize_single_tree(provenance, tree, bound=1)
+        compressed = result.compressed[("g",)]
+        # Whatever the cut, the exponent is preserved.
+        (monomial, coefficient), = compressed.terms()
+        assert coefficient == pytest.approx(2.0)
+        assert max(exp for _name, exp in monomial) == 7
+
+    def test_exponent_mismatch_prevents_merging(self):
+        provenance = ProvenanceSet(
+            {("g",): Polynomial({Monomial({"x": 2}): 1.0, Monomial({"y": 3}): 1.0})}
+        )
+        tree = AbstractionTree.flat("R", ["x", "y"])
+        result = apply_abstraction(provenance, root_cut(tree))
+        # x^2 -> R^2 and y^3 -> R^3 stay distinct monomials.
+        assert result.compressed_size == 2
+
+    def test_tiny_coefficients_are_normalised_away(self):
+        polynomial = Polynomial({Monomial.of("x"): 1e-15})
+        assert polynomial.is_zero()
+
+    def test_large_coefficients(self):
+        polynomial = Polynomial({Monomial.of("x"): 1e12})
+        assert polynomial.evaluate({"x": 2.0}) == pytest.approx(2e12)
+
+
+class TestQueriesOverEmptyTables:
+    @pytest.fixture
+    def catalog(self):
+        catalog = Catalog()
+        catalog.add(
+            Table("T", Schema.of(("k", ColumnType.STRING), ("v", ColumnType.FLOAT)))
+        )
+        return catalog
+
+    def test_scan_filter_project_empty(self, catalog):
+        relation = execute(
+            Query.scan("T").filter(col("v") > 0).project(["k"]), catalog
+        )
+        assert len(relation) == 0
+
+    def test_groupby_over_empty_input_yields_no_groups(self, catalog):
+        relation = execute(
+            Query.scan("T").groupby(["k"], [("total", "sum", col("v"))]), catalog
+        )
+        assert len(relation) == 0
+        provenance = to_provenance_set(relation, ["k"], "total")
+        assert len(provenance) == 0
+
+    def test_join_with_empty_side(self, catalog):
+        catalog.add(
+            Table(
+                "S",
+                Schema.of(("k", ColumnType.STRING), ("w", ColumnType.FLOAT)),
+                [("a", 1.0)],
+            )
+        )
+        relation = execute(
+            Query.scan("S").join(Query.scan("T"), on=[("k", "k")]), catalog
+        )
+        assert len(relation) == 0
+
+
+class TestSessionUnusualOrders:
+    def test_recompression_after_changing_tree(self, example2):
+        from repro.workloads.abstraction_trees import months_tree, plans_tree
+
+        session = CobraSession(example2)
+        session.set_abstraction_trees(plans_tree())
+        session.set_bound(6)
+        first = session.compress()
+        # Switch to the month tree; merging m1 and m3 can reach 7 monomials
+        # (one per plan variable per zip), so pick a bound that allows it.
+        session.set_abstraction_trees(months_tree(3))
+        session.set_bound(7)
+        second = session.compress()
+        assert first.cut.tree is not second.cut.tree
+        assert second.achieved_size == 7
+        assert second.cut.num_variables() == 1
+
+    def test_infeasible_bound_propagates(self, example2):
+        from repro.workloads.abstraction_trees import plans_tree
+
+        session = CobraSession(example2)
+        session.set_abstraction_trees(plans_tree())
+        session.set_bound(1)
+        with pytest.raises(InfeasibleBoundError):
+            session.compress()
+        result = session.compress(allow_infeasible=True)
+        assert not result.feasible
+
+    def test_identity_abstraction_assignment(self, example2):
+        """A bound equal to the full size keeps everything and stays exact."""
+        from repro.workloads.abstraction_trees import plans_tree
+
+        session = CobraSession(example2)
+        session.set_abstraction_trees(plans_tree())
+        session.set_bound(example2.size())
+        session.compress()
+        report = session.assign(measure_assignment_speedup=False)
+        assert report.compressed_size == example2.size()
+        assert report.max_absolute_error == pytest.approx(0.0)
+
+
+class TestHandBuiltAbstractions:
+    def test_abstraction_from_groups_end_to_end(self, example2):
+        """Abstractions need not come from a tree: hand-grouping works too."""
+        abstraction = Abstraction.from_groups(
+            {"family_and_youth": ["f1", "f2", "y1", "y2", "y3"]}
+        )
+        result = apply_abstraction(example2, abstraction)
+        assert result.compressed_size < example2.size()
+        valuation = {name: 1.0 for name in result.compressed.variables()}
+        full_valuation = {name: 1.0 for name in example2.variables()}
+        assert result.compressed.evaluate(valuation)[("10001",)] == pytest.approx(
+            example2.evaluate(full_valuation)[("10001",)]
+        )

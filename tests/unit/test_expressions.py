@@ -1,0 +1,100 @@
+"""Unit tests for scalar expressions and predicates."""
+
+import pytest
+
+from repro.exceptions import QueryError, UnknownColumnError
+from repro.db.expressions import And, Comparison, Not, Or, col, const
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial
+
+
+ROW = {"Dur": 522.0, "Price": 0.4, "Plan": "A", "Mo": 1}
+
+
+class TestScalarExpressions:
+    def test_column_reference(self):
+        assert col("Dur").evaluate(ROW) == pytest.approx(522.0)
+        assert col("Dur").columns() == ("Dur",)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            col("Missing").evaluate(ROW)
+
+    def test_const(self):
+        assert const(3.5).evaluate(ROW) == pytest.approx(3.5)
+        assert const("x").columns() == ()
+
+    def test_const_rejects_expressions_and_odd_types(self):
+        with pytest.raises(QueryError):
+            const(col("Dur"))
+        with pytest.raises(QueryError):
+            const([1, 2])
+
+    def test_arithmetic(self):
+        expression = col("Dur") * col("Price")
+        assert expression.evaluate(ROW) == pytest.approx(208.8)
+        assert set(expression.columns()) == {"Dur", "Price"}
+
+    def test_arithmetic_with_python_numbers(self):
+        assert (col("Dur") + 10).evaluate(ROW) == pytest.approx(532.0)
+        assert (1 - col("Price")).evaluate(ROW) == pytest.approx(0.6)
+        assert (col("Dur") / 2).evaluate(ROW) == pytest.approx(261.0)
+        assert (2 * col("Price")).evaluate(ROW) == pytest.approx(0.8)
+
+    def test_nested_expression_columns_deduplicated(self):
+        expression = (col("Dur") * col("Price")) + col("Dur")
+        assert expression.columns() == ("Dur", "Price")
+
+    def test_polynomial_cells_flow_through_multiplication(self):
+        row = dict(ROW, Price=Polynomial.from_terms([(0.4, ["p1", "m1"])]))
+        result = (col("Dur") * col("Price")).evaluate(row)
+        assert isinstance(result, Polynomial)
+        assert result.coefficient(Monomial.of("p1", "m1")) == pytest.approx(208.8)
+
+    def test_dividing_by_polynomial_raises(self):
+        row = dict(ROW, Price=Polynomial.variable("p1"))
+        with pytest.raises(QueryError):
+            (col("Dur") / col("Price")).evaluate(row)
+
+    def test_unsupported_operator_rejected(self):
+        from repro.db.expressions import BinaryOp
+
+        with pytest.raises(QueryError):
+            BinaryOp("%", col("Dur"), const(2))
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        assert (col("Dur") > 500).evaluate(ROW) is True
+        assert (col("Dur") < 500).evaluate(ROW) is False
+        assert (col("Plan") == "A").evaluate(ROW) is True
+        assert (col("Plan") != "A").evaluate(ROW) is False
+        assert (col("Mo") >= 1).evaluate(ROW) is True
+        assert (col("Mo") <= 0).evaluate(ROW) is False
+
+    def test_comparison_between_columns(self):
+        row = {"a": 1, "b": 1}
+        assert (col("a") == col("b")).evaluate(row) is True
+
+    def test_boolean_combinators(self):
+        p = (col("Dur") > 500) & (col("Plan") == "A")
+        q = (col("Dur") < 500) | (col("Plan") == "A")
+        assert p.evaluate(ROW) is True
+        assert q.evaluate(ROW) is True
+        assert (~p).evaluate(ROW) is False
+        assert isinstance(p, And)
+        assert isinstance(q, Or)
+        assert isinstance(~p, Not)
+
+    def test_predicate_columns(self):
+        p = (col("Dur") > 500) & (col("Plan") == "A")
+        assert set(p.columns()) == {"Dur", "Plan"}
+
+    def test_comparing_polynomials_raises(self):
+        row = {"Price": Polynomial.variable("p1")}
+        with pytest.raises(QueryError):
+            (col("Price") == 0.4).evaluate(row)
+
+    def test_unsupported_comparison_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", col("a"), col("b"))

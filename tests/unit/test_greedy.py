@@ -1,0 +1,117 @@
+"""Unit tests for the greedy coarsening heuristic."""
+
+import pytest
+
+from repro.exceptions import InfeasibleBoundError
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.brute_force import optimize_brute_force
+from repro.core.cut import leaf_cut
+from repro.core.greedy import optimize_greedy
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.workloads.random_polynomials import random_single_tree_instance
+
+
+class TestGreedySingleTree:
+    def test_loose_bound_keeps_leaf_cut(self, simple_provenance, simple_tree):
+        result = optimize_greedy(simple_provenance, simple_tree, bound=100)
+        assert result.cut == leaf_cut(simple_tree)
+        assert result.feasible
+        assert result.algorithm == "greedy"
+
+    def test_respects_bound(self, simple_provenance, simple_tree):
+        for bound in (5, 6, 7, 8):
+            result = optimize_greedy(simple_provenance, simple_tree, bound=bound)
+            assert result.achieved_size <= bound
+            assert result.feasible
+
+    def test_infeasible_raises(self, simple_provenance, simple_tree):
+        with pytest.raises(InfeasibleBoundError):
+            optimize_greedy(simple_provenance, simple_tree, bound=2)
+
+    def test_infeasible_allowed(self, simple_provenance, simple_tree):
+        result = optimize_greedy(
+            simple_provenance, simple_tree, bound=2, allow_infeasible=True
+        )
+        assert not result.feasible
+        # Fully coarsened: one variable per tree.
+        assert result.cut.is_root_cut()
+
+    def test_negative_bound_rejected(self, simple_provenance, simple_tree):
+        with pytest.raises(ValueError):
+            optimize_greedy(simple_provenance, simple_tree, bound=-5)
+
+    def test_trace_records_steps(self, simple_provenance, simple_tree):
+        result = optimize_greedy(
+            simple_provenance, simple_tree, bound=6, keep_trace=True
+        )
+        assert result.trace is not None
+        assert len(result.trace["steps"]) >= 1
+        step = result.trace["steps"][0]
+        assert {"coarsened_at", "size_before", "size_after"} <= set(step)
+
+    def test_never_much_worse_than_optimal_on_random_instances(self):
+        """Greedy is a heuristic, but it must stay feasible and lose few variables."""
+        for seed in range(4):
+            provenance, tree = random_single_tree_instance(
+                num_leaves=6, num_groups=3, monomials_per_group=10, seed=seed
+            )
+            bound = max(1, int(provenance.size() * 0.6))
+            try:
+                greedy = optimize_greedy(provenance, tree, bound=bound)
+            except InfeasibleBoundError:
+                continue
+            exact = optimize_brute_force(provenance, tree, bound=bound)
+            assert greedy.achieved_size <= bound
+            assert greedy.num_variables <= exact.num_variables + len(tree.leaves())
+
+    def test_handles_general_monomials(self):
+        tree = AbstractionTree("R", {"R": ["x", "y", "z"]})
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial(
+            {
+                Monomial.of("x", "y"): 1.0,
+                Monomial.of("y", "z"): 2.0,
+                Monomial.of("x", "z"): 3.0,
+            }
+        )
+        result = optimize_greedy(provenance, tree, bound=1)
+        assert result.achieved_size == 1
+        assert result.compressed[("g",)].coefficient(
+            Monomial({"R": 2})
+        ) == pytest.approx(6.0)
+
+
+class TestGreedyForest:
+    def test_two_trees(self):
+        plans = AbstractionTree("P", {"P": ["p1", "p2"]})
+        months = AbstractionTree("M", {"M": ["m1", "m2"]})
+        forest = AbstractionForest([plans, months])
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial(
+            {
+                Monomial.of("p1", "m1"): 1.0,
+                Monomial.of("p1", "m2"): 2.0,
+                Monomial.of("p2", "m1"): 3.0,
+                Monomial.of("p2", "m2"): 4.0,
+            }
+        )
+        # Collapsing either tree halves the size; collapsing both reaches 1.
+        result = optimize_greedy(provenance, forest, bound=2)
+        assert result.achieved_size <= 2
+        assert len(result.cuts) == 2
+
+        result = optimize_greedy(provenance, forest, bound=1)
+        assert result.achieved_size == 1
+        assert all(cut.is_root_cut() for cut in result.cuts)
+
+    def test_cut_attribute_is_none_for_forests(self):
+        plans = AbstractionTree("P", {"P": ["p1", "p2"]})
+        months = AbstractionTree("M", {"M": ["m1", "m2"]})
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial({Monomial.of("p1", "m1"): 1.0})
+        result = optimize_greedy(
+            provenance, AbstractionForest([plans, months]), bound=10
+        )
+        assert result.cut is None
+        assert len(result.cuts) == 2

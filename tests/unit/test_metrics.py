@@ -1,0 +1,71 @@
+"""Unit tests for the provenance metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    compression_ratio,
+    num_variables,
+    provenance_size,
+    result_distortion,
+    variable_retention,
+)
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+@pytest.fixture
+def full():
+    provenance = ProvenanceSet()
+    provenance[("a",)] = Polynomial(
+        {Monomial.of("x", "m1"): 2.0, Monomial.of("y", "m1"): 3.0}
+    )
+    provenance[("b",)] = Polynomial({Monomial.of("x", "m2"): 4.0})
+    return provenance
+
+
+@pytest.fixture
+def compressed(full):
+    return full.rename({"x": "g", "y": "g"})
+
+
+class TestSizes:
+    def test_provenance_size(self, full):
+        assert provenance_size(full) == 3
+        assert provenance_size(full[("a",)]) == 2
+
+    def test_num_variables(self, full):
+        assert num_variables(full) == 4
+        assert num_variables(full[("a",)]) == 3
+
+    def test_compression_ratio(self, full, compressed):
+        assert compression_ratio(full, compressed) == pytest.approx(2 / 3)
+        assert compression_ratio(ProvenanceSet(), ProvenanceSet()) == 1.0
+
+    def test_variable_retention(self, full, compressed):
+        assert variable_retention(full, compressed) == pytest.approx(3 / 4)
+        assert variable_retention(ProvenanceSet(), ProvenanceSet()) == 1.0
+
+
+class TestDistortion:
+    def test_zero_distortion_when_groups_share_values(self, full, compressed):
+        full_valuation = {"x": 1.2, "y": 1.2, "m1": 1.0, "m2": 0.5}
+        compressed_valuation = {"g": 1.2, "m1": 1.0, "m2": 0.5}
+        errors = result_distortion(full, compressed, full_valuation, compressed_valuation)
+        assert errors["max_abs_error"] == pytest.approx(0.0)
+        assert errors["mean_rel_error"] == pytest.approx(0.0)
+
+    def test_distortion_when_defaults_average(self, full, compressed):
+        full_valuation = {"x": 2.0, "y": 1.0, "m1": 1.0, "m2": 1.0}
+        compressed_valuation = {"g": 1.5, "m1": 1.0, "m2": 1.0}
+        errors = result_distortion(full, compressed, full_valuation, compressed_valuation)
+        # group a: full 2*2 + 3*1 = 7, compressed (2+3)*1.5 = 7.5
+        # group b: full 4*2 = 8, compressed 4*1.5 = 6
+        assert errors["max_abs_error"] == pytest.approx(2.0)
+        assert errors["mean_abs_error"] == pytest.approx(1.25)
+        assert errors["max_rel_error"] == pytest.approx(0.25)
+        assert errors["mean_rel_error"] == pytest.approx((0.5 / 7 + 0.25) / 2)
+
+    def test_empty_provenance(self):
+        errors = result_distortion(ProvenanceSet(), ProvenanceSet(), {}, {})
+        assert errors["max_abs_error"] == 0.0
+        assert errors["mean_abs_error"] == 0.0

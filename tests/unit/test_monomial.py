@@ -1,0 +1,120 @@
+"""Unit tests for monomials."""
+
+import pytest
+
+from repro.exceptions import InvalidMonomialError
+from repro.provenance.monomial import Monomial
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        monomial = Monomial({"x": 2, "y": 1})
+        assert monomial.exponent("x") == 2
+        assert monomial.exponent("y") == 1
+        assert monomial.degree() == 3
+
+    def test_from_iterable_counts_occurrences(self):
+        assert Monomial(["x", "x", "y"]) == Monomial({"x": 2, "y": 1})
+
+    def test_of_constructor(self):
+        assert Monomial.of("p1", "m1") == Monomial({"p1": 1, "m1": 1})
+
+    def test_from_factors_merges_duplicates(self):
+        monomial = Monomial.from_factors([("x", 1), ("x", 2), ("y", 1)])
+        assert monomial == Monomial({"x": 3, "y": 1})
+
+    def test_unit(self):
+        unit = Monomial.unit()
+        assert unit.is_unit()
+        assert unit.degree() == 0
+        assert unit.to_text() == "1"
+
+    def test_zero_exponent_is_dropped(self):
+        assert Monomial({"x": 0, "y": 1}) == Monomial({"y": 1})
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(InvalidMonomialError):
+            Monomial({"x": -1})
+
+    def test_non_integer_exponent_rejected(self):
+        with pytest.raises(InvalidMonomialError):
+            Monomial({"x": 1.5})
+
+    def test_bool_exponent_rejected(self):
+        with pytest.raises(InvalidMonomialError):
+            Monomial({"x": True})
+
+
+class TestAlgebra:
+    def test_multiplication_adds_exponents(self):
+        product = Monomial.of("x", "y") * Monomial.of("x")
+        assert product == Monomial({"x": 2, "y": 1})
+
+    def test_multiplication_with_unit_is_identity(self):
+        m = Monomial.of("p1", "m1")
+        assert m * Monomial.unit() == m
+
+    def test_multiplication_is_commutative(self):
+        a = Monomial.of("x", "y")
+        b = Monomial({"z": 2})
+        assert a * b == b * a
+
+    def test_rename_simple(self):
+        assert Monomial.of("p1", "m1").rename({"p1": "Standard"}) == Monomial.of(
+            "Standard", "m1"
+        )
+
+    def test_rename_merges_colliding_variables(self):
+        # Grouping x and y into g turns x*y into g^2.
+        assert Monomial.of("x", "y").rename({"x": "g", "y": "g"}) == Monomial(
+            {"g": 2}
+        )
+
+    def test_rename_ignores_unknown_variables(self):
+        m = Monomial.of("x", "y")
+        assert m.rename({"z": "w"}) == m
+
+    def test_without(self):
+        assert Monomial.of("x", "y", "z").without(["y"]) == Monomial.of("x", "z")
+
+    def test_restrict(self):
+        assert Monomial.of("x", "y", "z").restrict(["y"]) == Monomial.of("y")
+
+    def test_evaluate(self):
+        monomial = Monomial({"x": 2, "y": 1})
+        assert monomial.evaluate({"x": 3.0, "y": 2.0}) == pytest.approx(18.0)
+
+    def test_evaluate_unit_is_one(self):
+        assert Monomial.unit().evaluate({}) == pytest.approx(1.0)
+
+
+class TestProtocol:
+    def test_hashable_and_equal(self):
+        assert hash(Monomial.of("x", "y")) == hash(Monomial.of("y", "x"))
+        assert Monomial.of("x", "y") == Monomial.of("y", "x")
+
+    def test_ordering_is_total_on_distinct_monomials(self):
+        a = Monomial.of("a")
+        b = Monomial.of("b")
+        assert a < b
+        assert b > a if hasattr(b, "__gt__") else True
+
+    def test_contains(self):
+        monomial = Monomial.of("p1", "m1")
+        assert "p1" in monomial
+        assert "m3" not in monomial
+
+    def test_len_and_iteration(self):
+        monomial = Monomial({"x": 2, "y": 1})
+        assert len(monomial) == 2
+        assert dict(monomial) == {"x": 2, "y": 1}
+
+    def test_variables_sorted(self):
+        assert Monomial.of("b", "a").variables() == ("a", "b")
+
+    def test_to_text(self):
+        assert Monomial({"x": 2, "y": 1}).to_text() == "x^2*y"
+        assert Monomial.of("p1", "m1").to_text() == "m1*p1"
+
+    def test_repr_round_trip_info(self):
+        assert "x^2" in repr(Monomial({"x": 2}))

@@ -1,0 +1,126 @@
+"""Unit tests for the forest optimiser and its method dispatch."""
+
+import pytest
+
+from repro.exceptions import InfeasibleBoundError, UnsupportedPolynomialError
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.multi_tree import optimize_forest
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+@pytest.fixture
+def two_tree_instance():
+    plans = AbstractionTree("P", {"P": ["p1", "p2", "p3"]})
+    months = AbstractionTree("M", {"M": ["Q1", "Q2"], "Q1": ["m1", "m2"], "Q2": ["m3", "m4"]})
+    forest = AbstractionForest([plans, months])
+    provenance = ProvenanceSet()
+    terms = {}
+    for plan in ("p1", "p2", "p3"):
+        for month in ("m1", "m2", "m3", "m4"):
+            terms[Monomial.of(plan, month)] = 1.0 + len(terms)
+    provenance[("g",)] = Polynomial(terms)
+    return provenance, forest
+
+
+class TestDispatch:
+    def test_single_tree_auto_uses_dp(self, simple_provenance, simple_tree):
+        result = optimize_forest(simple_provenance, simple_tree, bound=8)
+        assert result.algorithm == "dynamic-programming"
+
+    def test_method_dp_forced(self, simple_provenance, simple_tree):
+        result = optimize_forest(simple_provenance, simple_tree, bound=8, method="dp")
+        assert result.algorithm == "dynamic-programming"
+
+    def test_method_dp_raises_on_unsupported_polynomials(self):
+        tree = AbstractionTree("R", {"R": ["x", "y"]})
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial({Monomial.of("x", "y"): 1.0})
+        with pytest.raises(UnsupportedPolynomialError):
+            optimize_forest(provenance, tree, bound=1, method="dp")
+
+    def test_auto_falls_back_when_dp_unsupported(self):
+        tree = AbstractionTree("R", {"R": ["x", "y"]})
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial({Monomial.of("x", "y"): 1.0, Monomial.of("x"): 1.0})
+        result = optimize_forest(provenance, tree, bound=2, method="auto")
+        assert result.feasible
+        assert result.algorithm in ("exhaustive-forest", "greedy")
+
+    def test_method_exact(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        result = optimize_forest(provenance, forest, bound=6, method="exact")
+        assert result.algorithm == "exhaustive-forest"
+        assert result.achieved_size <= 6
+
+    def test_method_greedy(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        result = optimize_forest(provenance, forest, bound=6, method="greedy")
+        assert result.algorithm == "greedy"
+        assert result.achieved_size <= 6
+
+    def test_exact_refuses_huge_forests(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        with pytest.raises(ValueError):
+            optimize_forest(
+                provenance, forest, bound=6, method="exact", max_combinations=2
+            )
+
+    def test_auto_switches_to_greedy_for_huge_forests(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        result = optimize_forest(
+            provenance, forest, bound=6, method="auto", max_combinations=2
+        )
+        assert result.algorithm == "greedy"
+
+    def test_unknown_method_rejected(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        with pytest.raises(ValueError):
+            optimize_forest(provenance, forest, bound=6, method="magic")
+
+    def test_negative_bound_rejected(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        with pytest.raises(ValueError):
+            optimize_forest(provenance, forest, bound=-1)
+
+
+class TestExhaustiveForest:
+    def test_optimises_across_both_trees(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        # Full size is 12.  Bound 6: either collapsing months to quarters
+        # (3 plans x 2 quarters = 6 monomials) or collapsing the plans tree
+        # (1 x 4 months = 4 monomials) retains 5 variables, which is optimal.
+        result = optimize_forest(provenance, forest, bound=6, method="exact")
+        assert result.achieved_size <= 6
+        total_vars = sum(cut.num_variables() for cut in result.cuts)
+        assert total_vars == 5
+
+    def test_bound_one_collapses_everything(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        result = optimize_forest(provenance, forest, bound=1, method="exact")
+        assert result.achieved_size == 1
+        assert all(cut.is_root_cut() for cut in result.cuts)
+
+    def test_infeasible_raises(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        with pytest.raises(InfeasibleBoundError):
+            optimize_forest(provenance, forest, bound=0, method="exact")
+
+    def test_infeasible_allowed(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        result = optimize_forest(
+            provenance, forest, bound=0, method="exact", allow_infeasible=True
+        )
+        assert not result.feasible
+        assert result.achieved_size == 1
+
+    def test_greedy_matches_exact_on_this_instance(self, two_tree_instance):
+        provenance, forest = two_tree_instance
+        for bound in (12, 6, 4, 3, 1):
+            exact = optimize_forest(provenance, forest, bound=bound, method="exact")
+            greedy = optimize_forest(provenance, forest, bound=bound, method="greedy")
+            assert greedy.achieved_size <= bound
+            assert exact.achieved_size <= bound
+            total_exact = sum(cut.num_variables() for cut in exact.cuts)
+            total_greedy = sum(cut.num_variables() for cut in greedy.cuts)
+            assert total_greedy <= total_exact

@@ -1,0 +1,157 @@
+"""Unit tests for the exact single-tree dynamic program."""
+
+import pytest
+
+from repro.exceptions import InfeasibleBoundError, UnsupportedPolynomialError
+from repro.core.brute_force import optimize_brute_force
+from repro.core.cut import leaf_cut, root_cut
+from repro.core.optimizer import build_load_model, optimize_single_tree
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.workloads.random_polynomials import random_single_tree_instance
+
+
+class TestLoadModel:
+    def test_loads_of_simple_instance(self, simple_provenance, simple_tree):
+        model = build_load_model(simple_provenance, simple_tree)
+        # Leaf loads: number of (group, residue, exponent) combinations.
+        assert model.loads["a1"] == 2   # (g1, e1), (g2, e2)
+        assert model.loads["a2"] == 1
+        assert model.loads["c1"] == 2
+        assert model.loads["c2"] == 1
+        assert model.loads["b1"] == 2
+        # Node A merges a1 and a2: residues {(g1,e1),(g2,e2),(g1,e1)} -> 2 distinct? a2 has (g1, e1).
+        assert model.loads["A"] == 2
+        assert model.loads["C"] == 3
+        assert model.loads["B"] == 4
+        # A's residues are a subset of B's, so the root merges to 4 as well.
+        assert model.loads["R"] == 4
+        assert model.base_monomials == 1  # the 7*e1 monomial in g2
+
+    def test_cut_size_prediction_matches_actual(self, simple_provenance, simple_tree):
+        from repro.core.compression import apply_abstraction
+        from repro.core.cut import enumerate_cuts
+
+        model = build_load_model(simple_provenance, simple_tree)
+        for cut in enumerate_cuts(simple_tree):
+            predicted = model.cut_size(cut)
+            actual = apply_abstraction(simple_provenance, cut).compressed_size
+            assert predicted == actual
+
+    def test_two_tree_variables_in_a_monomial_rejected(self, simple_tree):
+        provenance = ProvenanceSet()
+        provenance[("g",)] = Polynomial({Monomial.of("a1", "c1"): 1.0})
+        with pytest.raises(UnsupportedPolynomialError):
+            build_load_model(provenance, simple_tree)
+
+    def test_leaf_occurrences(self, simple_provenance, simple_tree):
+        model = build_load_model(simple_provenance, simple_tree)
+        assert model.leaf_occurrences["a1"] == 2
+        assert model.leaf_occurrences["a2"] == 1
+
+
+class TestOptimizeSingleTree:
+    def test_loose_bound_keeps_leaf_cut(self, simple_provenance, simple_tree):
+        result = optimize_single_tree(simple_provenance, simple_tree, bound=100)
+        assert result.cut == leaf_cut(simple_tree)
+        assert result.feasible
+        assert result.achieved_size == simple_provenance.size()
+
+    def test_tight_bound_forces_root(self, simple_provenance, simple_tree):
+        model_size_at_root = 4 + 1
+        result = optimize_single_tree(
+            simple_provenance, simple_tree, bound=model_size_at_root
+        )
+        assert result.cut == root_cut(simple_tree)
+        assert result.achieved_size <= model_size_at_root
+
+    def test_infeasible_bound_raises(self, simple_provenance, simple_tree):
+        with pytest.raises(InfeasibleBoundError) as excinfo:
+            optimize_single_tree(simple_provenance, simple_tree, bound=2)
+        assert excinfo.value.bound == 2
+        assert excinfo.value.best_achievable == 5
+
+    def test_infeasible_bound_allowed_returns_coarsest(self, simple_provenance, simple_tree):
+        result = optimize_single_tree(
+            simple_provenance, simple_tree, bound=2, allow_infeasible=True
+        )
+        assert not result.feasible
+        assert result.achieved_size == 5
+
+    def test_negative_bound_rejected(self, simple_provenance, simple_tree):
+        with pytest.raises(ValueError):
+            optimize_single_tree(simple_provenance, simple_tree, bound=-1)
+
+    def test_predicted_size_matches_achieved(self, simple_provenance, simple_tree):
+        for bound in (6, 7, 8, 9, 12):
+            result = optimize_single_tree(simple_provenance, simple_tree, bound=bound)
+            assert result.predicted_size == result.achieved_size
+            assert result.achieved_size <= bound
+
+    def test_trace_contents(self, simple_provenance, simple_tree):
+        result = optimize_single_tree(
+            simple_provenance, simple_tree, bound=8, keep_trace=True
+        )
+        assert result.trace is not None
+        assert set(result.trace["loads"]) == set(simple_tree.nodes())
+        assert "dp_table" in result.trace
+        assert result.trace["base_monomials"] == 1
+
+    def test_no_trace_by_default(self, simple_provenance, simple_tree):
+        assert optimize_single_tree(simple_provenance, simple_tree, bound=8).trace is None
+
+    def test_variables_outside_tree_are_untouched(self, simple_provenance, simple_tree):
+        result = optimize_single_tree(simple_provenance, simple_tree, bound=6)
+        assert {"e1", "e2"} <= set(result.compressed.variables())
+
+    def test_algorithm_label(self, simple_provenance, simple_tree):
+        result = optimize_single_tree(simple_provenance, simple_tree, bound=8)
+        assert result.algorithm == "dynamic-programming"
+        assert result.summary()["algorithm"] == "dynamic-programming"
+
+    def test_maximises_variables_among_feasible_cuts(self, simple_provenance, simple_tree):
+        # Cross-check against brute force for a range of bounds.
+        for bound in range(6, 13):
+            dp = optimize_single_tree(simple_provenance, simple_tree, bound=bound)
+            bf = optimize_brute_force(simple_provenance, simple_tree, bound=bound)
+            assert dp.num_variables == bf.num_variables
+            assert dp.cut.num_variables() == bf.cut.num_variables()
+            assert dp.achieved_size <= bound
+
+    def test_matches_brute_force_on_random_instances(self):
+        for seed in range(5):
+            provenance, tree = random_single_tree_instance(
+                num_leaves=6, num_groups=3, monomials_per_group=12, seed=seed
+            )
+            full = provenance.size()
+            for bound in {full, int(full * 0.8), int(full * 0.5)}:
+                try:
+                    dp = optimize_single_tree(provenance, tree, bound=bound)
+                except InfeasibleBoundError:
+                    with pytest.raises(InfeasibleBoundError):
+                        optimize_brute_force(provenance, tree, bound=bound)
+                    continue
+                bf = optimize_brute_force(provenance, tree, bound=bound)
+                assert dp.cut.num_variables() == bf.cut.num_variables()
+                assert dp.achieved_size <= bound
+
+
+class TestSection4Shape:
+    def test_small_replica_of_section4(self):
+        """A scaled-down Section 4 instance: 5 zips x 11 plans x 12 months."""
+        from repro.workloads.abstraction_trees import plans_tree
+        from repro.workloads.telephony import TelephonyConfig, generate_revenue_provenance
+
+        config = TelephonyConfig(num_customers=5 * 11, num_zips=5, months=tuple(range(1, 13)))
+        provenance = generate_revenue_provenance(config)
+        assert provenance.size() == 5 * 11 * 12
+
+        tree = plans_tree()
+        # Bound allowing 7 plan-groups (like the paper's 94,600 for 1,055 zips).
+        result = optimize_single_tree(provenance, tree, bound=7 * 12 * 5)
+        assert result.achieved_size == 7 * 12 * 5
+        assert result.cut.num_variables() == 7
+
+        result = optimize_single_tree(provenance, tree, bound=3 * 12 * 5 + 5)
+        assert result.achieved_size == 3 * 12 * 5
+        assert result.cut.nodes == frozenset({"Business", "Special", "Standard"})

@@ -1,0 +1,97 @@
+"""Unit tests for the polynomial text format."""
+
+import pytest
+
+from repro.exceptions import PolynomialParseError
+from repro.provenance.monomial import Monomial
+from repro.provenance.parser import format_polynomial, parse_polynomial
+from repro.provenance.polynomial import Polynomial
+
+
+class TestParse:
+    def test_single_constant(self):
+        assert parse_polynomial("5").constant_term() == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert parse_polynomial("0").is_zero()
+        assert parse_polynomial("  ").is_zero()
+
+    def test_single_variable(self):
+        p = parse_polynomial("x")
+        assert p.coefficient(Monomial.of("x")) == pytest.approx(1.0)
+
+    def test_coefficient_times_variables(self):
+        p = parse_polynomial("208.8 * p1 * m1")
+        assert p.coefficient(Monomial.of("p1", "m1")) == pytest.approx(208.8)
+
+    def test_example2_polynomial(self):
+        text = (
+            "208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + "
+            "75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3"
+        )
+        p = parse_polynomial(text)
+        assert p.num_monomials() == 8
+        assert p.coefficient(Monomial.of("v", "m3")) == pytest.approx(24.2)
+
+    def test_exponents(self):
+        p = parse_polynomial("2*x^3*y + 4")
+        assert p.coefficient(Monomial({"x": 3, "y": 1})) == pytest.approx(2.0)
+        assert p.constant_term() == pytest.approx(4.0)
+
+    def test_repeated_variable_multiplies_exponents(self):
+        assert parse_polynomial("x*x") == parse_polynomial("x^2")
+
+    def test_negative_terms(self):
+        p = parse_polynomial("3*x - 2*y - 1")
+        assert p.coefficient(Monomial.of("y")) == pytest.approx(-2.0)
+        assert p.constant_term() == pytest.approx(-1.0)
+
+    def test_leading_sign(self):
+        assert parse_polynomial("-x").coefficient(Monomial.of("x")) == pytest.approx(-1.0)
+        assert parse_polynomial("+x").coefficient(Monomial.of("x")) == pytest.approx(1.0)
+
+    def test_duplicate_terms_merge(self):
+        p = parse_polynomial("x + x")
+        assert p.coefficient(Monomial.of("x")) == pytest.approx(2.0)
+
+    def test_multiple_coefficients_in_one_term(self):
+        assert parse_polynomial("2*3*x").coefficient(Monomial.of("x")) == pytest.approx(6.0)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x +",
+            "* x",
+            "x ^ y",
+            "x^1.5",
+            "2 x",          # missing '*'
+            "x & y",
+            "x * ",
+            "(x + y)",      # parentheses not supported in polynomial text
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(PolynomialParseError):
+            parse_polynomial(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "208.8*m1*p1 + 240*m3*p1",
+            "2*x^2 + 3*y - 1.5",
+            "42",
+            "x",
+            "0",
+        ],
+    )
+    def test_format_then_parse_is_identity(self, text):
+        polynomial = parse_polynomial(text)
+        assert parse_polynomial(format_polynomial(polynomial)).almost_equal(polynomial)
+
+    def test_format_uses_canonical_order(self):
+        p = Polynomial.from_terms([(1, ["z"]), (1, ["a"])])
+        assert format_polynomial(p) == "a + z"

@@ -1,0 +1,133 @@
+"""Unit tests for the fluent query builder (logical plan construction)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.db.expressions import col
+from repro.db.query import (
+    Filter,
+    GroupBy,
+    Join,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Union,
+)
+
+
+class TestScan:
+    def test_scan_builds_scan_node(self):
+        assert isinstance(Query.scan("Calls").plan, Scan)
+        assert Query.scan("Calls").plan.table == "Calls"
+
+    def test_scan_requires_name(self):
+        with pytest.raises(QueryError):
+            Query.scan("")
+
+
+class TestFilter:
+    def test_filter_wraps_child(self):
+        query = Query.scan("T").filter(col("a") > 1)
+        assert isinstance(query.plan, Filter)
+        assert isinstance(query.plan.child, Scan)
+
+    def test_filter_requires_predicate(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").filter(col("a"))
+
+
+class TestProject:
+    def test_project_plain_columns(self):
+        query = Query.scan("T").project(["a", "b"])
+        assert isinstance(query.plan, Project)
+        assert [name for name, _ in query.plan.columns] == ["a", "b"]
+
+    def test_project_computed_column(self):
+        query = Query.scan("T").project([("total", col("a") * col("b"))])
+        assert query.plan.columns[0][0] == "total"
+
+    def test_project_requires_columns(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").project([])
+
+    def test_project_rejects_duplicate_outputs(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").project(["a", ("a", col("b"))])
+
+    def test_project_rejects_non_expression(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").project([("a", "not-an-expression")])
+
+    def test_project_distinct_flag(self):
+        assert Query.scan("T").project(["a"], distinct=True).plan.distinct is True
+
+
+class TestJoin:
+    def test_join_builds_join_node(self):
+        query = Query.scan("A").join(Query.scan("B"), on=[("x", "y")])
+        assert isinstance(query.plan, Join)
+        assert query.plan.on == (("x", "y"),)
+
+    def test_join_requires_query(self):
+        with pytest.raises(QueryError):
+            Query.scan("A").join("B", on=[("x", "y")])
+
+    def test_join_requires_on(self):
+        with pytest.raises(QueryError):
+            Query.scan("A").join(Query.scan("B"), on=[])
+
+
+class TestGroupBy:
+    def test_groupby_builds_node(self):
+        query = Query.scan("T").groupby(["k"], [("total", "sum", col("v"))])
+        assert isinstance(query.plan, GroupBy)
+        assert query.plan.keys == ("k",)
+        assert query.plan.aggregates[0][:2] == ("total", "sum")
+
+    def test_groupby_count_without_expression(self):
+        query = Query.scan("T").groupby(["k"], [("n", "count", None)])
+        assert query.plan.aggregates[0] == ("n", "count", None)
+
+    def test_groupby_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").groupby(["k"], [])
+
+    def test_groupby_rejects_unknown_function(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").groupby(["k"], [("x", "median", col("v"))])
+
+    def test_groupby_requires_expression_for_sum(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").groupby(["k"], [("x", "sum", None)])
+
+    def test_groupby_rejects_duplicate_output_names(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").groupby(["k"], [("k", "sum", col("v"))])
+
+
+class TestRenameUnion:
+    def test_rename(self):
+        query = Query.scan("T").rename({"a": "b"})
+        assert isinstance(query.plan, Rename)
+        assert dict(query.plan.mapping) == {"a": "b"}
+
+    def test_rename_requires_mapping(self):
+        with pytest.raises(QueryError):
+            Query.scan("T").rename({})
+
+    def test_union(self):
+        query = Query.scan("A").union(Query.scan("B"))
+        assert isinstance(query.plan, Union)
+
+    def test_union_requires_query(self):
+        with pytest.raises(QueryError):
+            Query.scan("A").union("B")
+
+
+class TestImmutability:
+    def test_builder_returns_new_objects(self):
+        base = Query.scan("T")
+        filtered = base.filter(col("a") > 1)
+        assert base.plan is not filtered.plan
+        assert isinstance(base.plan, Scan)

@@ -1,0 +1,69 @@
+"""Unit tests for the random provenance / tree generators."""
+
+import pytest
+
+from repro.core.optimizer import build_load_model
+from repro.workloads.random_polynomials import (
+    random_provenance,
+    random_single_tree_instance,
+    random_tree,
+)
+
+
+class TestRandomTree:
+    def test_leaf_count(self):
+        for leaves in (1, 2, 5, 17):
+            tree = random_tree(leaves, seed=3)
+            assert len(tree.leaves()) == leaves
+
+    def test_deterministic(self):
+        a = random_tree(10, seed=5)
+        b = random_tree(10, seed=5)
+        assert a.nodes() == b.nodes()
+
+    def test_different_seeds_differ(self):
+        a = random_tree(10, seed=1)
+        b = random_tree(10, seed=2)
+        assert a.nodes() != b.nodes() or a.leaves() == b.leaves()
+
+    def test_invalid_leaf_count(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+    def test_leaf_names_follow_prefix(self):
+        tree = random_tree(4, seed=0, leaf_prefix="leaf")
+        assert all(name.startswith("leaf") for name in tree.leaves())
+
+
+class TestRandomProvenance:
+    def test_group_count_and_size(self):
+        provenance = random_provenance(
+            ["x1", "x2", "x3"], num_groups=4, monomials_per_group=10, seed=1
+        )
+        assert len(provenance) == 4
+        assert provenance.size() <= 40
+
+    def test_deterministic(self):
+        a = random_provenance(["x1", "x2"], seed=9)
+        b = random_provenance(["x1", "x2"], seed=9)
+        assert a == b
+
+    def test_variables_come_from_requested_pools(self):
+        provenance = random_provenance(
+            ["x1", "x2"], extra_variables=["e1"], num_groups=2, seed=2
+        )
+        assert provenance.variables() <= {"x1", "x2", "e1"}
+
+
+class TestRandomInstance:
+    def test_satisfies_dp_precondition(self):
+        for seed in range(3):
+            provenance, tree = random_single_tree_instance(seed=seed)
+            model = build_load_model(provenance, tree)  # must not raise
+            assert model.base_monomials >= 0
+
+    def test_tree_and_provenance_are_matched(self):
+        provenance, tree = random_single_tree_instance(num_leaves=5, seed=1)
+        tree_leaves = set(tree.leaves())
+        used = provenance.variables()
+        assert used & tree_leaves, "some tree variables must occur in the provenance"

@@ -1,0 +1,83 @@
+"""Unit tests for assignment reports and meta-variable panels."""
+
+import pytest
+
+from repro.engine.report import AssignmentReport, GroupComparison, MetaVariableInfo
+from repro.utils.timing import SpeedupMeasurement
+
+
+def make_report(groups, speedup=None):
+    return AssignmentReport(
+        groups=tuple(groups),
+        full_size=100,
+        compressed_size=40,
+        full_variables=10,
+        compressed_variables=4,
+        speedup=speedup,
+    )
+
+
+class TestGroupComparison:
+    def test_errors(self):
+        group = GroupComparison(("z",), baseline=100.0, full_result=90.0, compressed_result=99.0)
+        assert group.absolute_error == pytest.approx(9.0)
+        assert group.relative_error == pytest.approx(0.1)
+        assert group.change_from_baseline == pytest.approx(-10.0)
+
+    def test_zero_full_result_has_zero_relative_error(self):
+        group = GroupComparison(("z",), baseline=0.0, full_result=0.0, compressed_result=1.0)
+        assert group.relative_error == 0.0
+
+
+class TestAssignmentReport:
+    def test_aggregate_errors(self):
+        report = make_report(
+            [
+                GroupComparison(("a",), 1.0, 10.0, 12.0),
+                GroupComparison(("b",), 1.0, 20.0, 20.0),
+            ]
+        )
+        assert report.max_absolute_error == pytest.approx(2.0)
+        assert report.mean_absolute_error == pytest.approx(1.0)
+        assert report.max_relative_error == pytest.approx(0.2)
+        assert report.mean_relative_error == pytest.approx(0.1)
+
+    def test_empty_report(self):
+        report = make_report([])
+        assert report.max_absolute_error == 0.0
+        assert report.mean_relative_error == 0.0
+
+    def test_compression_ratio(self):
+        assert make_report([]).compression_ratio == pytest.approx(0.4)
+
+    def test_speedup_fraction(self):
+        measurement = SpeedupMeasurement(baseline_seconds=1.0, optimized_seconds=0.25)
+        assert make_report([], speedup=measurement).speedup_fraction == pytest.approx(0.75)
+        assert make_report([]).speedup_fraction is None
+
+    def test_summary_keys(self):
+        summary = make_report([GroupComparison(("a",), 1.0, 2.0, 2.0)]).summary()
+        assert summary["groups"] == 1
+        assert summary["full_size"] == 100
+        assert summary["compressed_size"] == 40
+        assert "speedup_fraction" in summary
+
+    def test_render_text_mentions_sizes_and_groups(self):
+        report = make_report(
+            [GroupComparison((f"g{i}",), 1.0, 2.0, 2.0) for i in range(15)],
+            speedup=SpeedupMeasurement(1.0, 0.5),
+        )
+        text = report.render_text(max_groups=10)
+        assert "100 -> 40" in text
+        assert "assignment speedup" in text
+        assert "more groups" in text
+        assert "g9" in text and "g12" not in text
+
+
+class TestMetaVariableInfo:
+    def test_as_dict(self):
+        info = MetaVariableInfo("SB", ("b1", "b2"), (0.1, 0.1), 0.1)
+        data = info.as_dict()
+        assert data["name"] == "SB"
+        assert data["members"] == ["b1", "b2"]
+        assert data["default_value"] == pytest.approx(0.1)

@@ -1,0 +1,76 @@
+"""Unit tests for hypothetical scenarios."""
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.engine.scenario import Scenario
+from repro.provenance.valuation import Valuation
+
+
+VARIABLES = ["p1", "f1", "b1", "b2", "e", "m1", "m3"]
+
+
+class TestScenarioConstruction:
+    def test_scenarios_are_immutable_and_fluent(self):
+        base = Scenario("base")
+        extended = base.scale(["m3"], 0.8)
+        assert len(base.operations) == 0
+        assert len(extended.operations) == 1
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario("bad").scale(["x"], -1.0)
+
+
+class TestApply:
+    def test_march_discount(self):
+        """Example 1: decrease the ppm of all plans by 20% in March."""
+        scenario = Scenario("march").scale(["m3"], 0.8)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert valuation["m3"] == pytest.approx(0.8)
+        assert valuation["m1"] == pytest.approx(1.0)
+
+    def test_business_increase_with_predicate_selector(self):
+        """Example 1: increase the ppm of the business plans by 10%."""
+        business = {"b1", "b2", "e"}
+        scenario = Scenario("business").scale(lambda name: name in business, 1.1)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert valuation["b1"] == pytest.approx(1.1)
+        assert valuation["e"] == pytest.approx(1.1)
+        assert valuation["p1"] == pytest.approx(1.0)
+
+    def test_set_value(self):
+        scenario = Scenario("freeze").set_value(["p1"], 0.0)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert valuation["p1"] == pytest.approx(0.0)
+
+    def test_operations_compose_in_order(self):
+        scenario = Scenario("combo").set_value(["m3"], 2.0).scale(["m3"], 0.5)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert valuation["m3"] == pytest.approx(1.0)
+
+    def test_string_selector(self):
+        scenario = Scenario("single").scale("m1", 1.2)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert valuation["m1"] == pytest.approx(1.2)
+
+    def test_apply_accepts_plain_mappings(self):
+        scenario = Scenario("s").scale(["m1"], 2.0)
+        valuation = scenario.apply({"m1": 1.0, "m3": 1.0})
+        assert valuation["m1"] == pytest.approx(2.0)
+
+    def test_explicit_variable_universe(self):
+        scenario = Scenario("s").scale(lambda name: name.startswith("m"), 0.5)
+        valuation = scenario.apply(Valuation({}), variables=["m1", "m9"])
+        assert valuation["m9"] == pytest.approx(0.5)
+
+    def test_affected_variables(self):
+        scenario = (
+            Scenario("s").scale(["m1"], 2.0).scale(lambda name: name.startswith("b"), 1.1)
+        )
+        assert set(scenario.affected_variables(VARIABLES)) == {"m1", "b1", "b2"}
+
+    def test_selector_misses_are_silently_ignored(self):
+        scenario = Scenario("s").scale(["not_present"], 2.0)
+        valuation = scenario.apply(Valuation.uniform(VARIABLES, 1.0))
+        assert "not_present" not in valuation

@@ -1,0 +1,115 @@
+"""Unit tests for schemas and column types."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownColumnError
+from repro.db.schema import Column, ColumnType, Schema
+from repro.provenance.polynomial import Polynomial
+
+
+class TestColumnType:
+    def test_integer_accepts_ints_only(self):
+        ColumnType.INTEGER.validate(5)
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(5.0)
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_float_accepts_numbers(self):
+        ColumnType.FLOAT.validate(5)
+        ColumnType.FLOAT.validate(5.5)
+        with pytest.raises(SchemaError):
+            ColumnType.FLOAT.validate("5")
+
+    def test_string_accepts_strings_only(self):
+        ColumnType.STRING.validate("abc")
+        with pytest.raises(SchemaError):
+            ColumnType.STRING.validate(5)
+
+    def test_symbolic_accepts_numbers_and_polynomials(self):
+        ColumnType.SYMBOLIC.validate(5.0)
+        ColumnType.SYMBOLIC.validate(Polynomial.variable("x"))
+        with pytest.raises(SchemaError):
+            ColumnType.SYMBOLIC.validate("abc")
+
+    def test_none_is_always_allowed(self):
+        for column_type in ColumnType:
+            column_type.validate(None)
+
+
+class TestColumn:
+    def test_default_type_is_string(self):
+        assert Column("a").type is ColumnType.STRING
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+
+class TestSchema:
+    def test_of_mixed_specs(self):
+        schema = Schema.of("a", ("b", ColumnType.INTEGER), Column("c", ColumnType.FLOAT))
+        assert schema.names() == ("a", "b", "c")
+        assert schema.column("b").type is ColumnType.INTEGER
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_column(self):
+        schema = Schema.of("a")
+        with pytest.raises(UnknownColumnError):
+            schema.column("b")
+        with pytest.raises(UnknownColumnError):
+            schema.index_of("b")
+
+    def test_index_of(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.index_of("b") == 1
+
+    def test_contains_len_iter(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]
+
+    def test_validate_row_checks_arity(self):
+        schema = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.STRING))
+        schema.validate_row((1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_row((1,))
+
+    def test_validate_row_checks_types_with_column_name_in_message(self):
+        schema = Schema.of(("a", ColumnType.INTEGER),)
+        with pytest.raises(SchemaError) as excinfo:
+            schema.validate_row(("oops",))
+        assert "a" in str(excinfo.value)
+
+    def test_project(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names() == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema.of("a", "b").rename({"a": "x"})
+        assert schema.names() == ("x", "b")
+
+    def test_concat_disjoint(self):
+        combined = Schema.of("a").concat(Schema.of("b"))
+        assert combined.names() == ("a", "b")
+
+    def test_concat_clash_without_disambiguation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b").concat(Schema.of("b"))
+
+    def test_concat_clash_with_prefixes(self):
+        combined = Schema.of("a", "k").concat(Schema.of("k", "c"), disambiguate=("l", "r"))
+        assert combined.names() == ("a", "l.k", "r.k", "c")
+
+    def test_equality(self):
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert Schema.of("a") != Schema.of("b")

@@ -1,0 +1,181 @@
+"""Unit tests for the semiring framework and homomorphic evaluation."""
+
+import pytest
+
+from repro.exceptions import MissingValuationError, SemiringError
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    PolynomialSemiring,
+    TropicalSemiring,
+    WhySemiring,
+    evaluate_in_semiring,
+)
+
+ALL_SEMIRINGS = [
+    BooleanSemiring(),
+    CountingSemiring(),
+    TropicalSemiring(),
+    WhySemiring(),
+    LineageSemiring(),
+    PolynomialSemiring(),
+]
+
+
+def _samples(semiring):
+    """Three representative elements per semiring for axiom checks."""
+    if isinstance(semiring, BooleanSemiring):
+        return [True, False, True]
+    if isinstance(semiring, CountingSemiring):
+        return [2.0, 3.5, 0.0]
+    if isinstance(semiring, TropicalSemiring):
+        return [1.0, 5.0, float("inf")]
+    if isinstance(semiring, WhySemiring):
+        return [WhySemiring.of("x"), WhySemiring.of("y", "z"), semiring.zero]
+    if isinstance(semiring, LineageSemiring):
+        return [frozenset({"x"}), frozenset({"y", "z"}), semiring.zero]
+    return [
+        Polynomial.variable("x"),
+        Polynomial.variable("y") + Polynomial.constant(1),
+        Polynomial.zero(),
+    ]
+
+
+class TestSemiringAxioms:
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_additive_identity(self, semiring):
+        for a in _samples(semiring):
+            assert semiring.add(a, semiring.zero) == a
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_multiplicative_identity(self, semiring):
+        for a in _samples(semiring):
+            assert semiring.multiply(a, semiring.one) == a
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_addition_commutes(self, semiring):
+        a, b, _ = _samples(semiring)
+        assert semiring.add(a, b) == semiring.add(b, a)
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_multiplication_commutes(self, semiring):
+        a, b, _ = _samples(semiring)
+        assert semiring.multiply(a, b) == semiring.multiply(b, a)
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_distributivity(self, semiring):
+        a, b, c = _samples(semiring)
+        left = semiring.multiply(a, semiring.add(b, c))
+        right = semiring.add(semiring.multiply(a, b), semiring.multiply(a, c))
+        assert left == right
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name())
+    def test_zero_annihilates(self, semiring):
+        a = _samples(semiring)[0]
+        assert semiring.multiply(a, semiring.zero) == semiring.zero
+
+
+class TestDerivedHelpers:
+    def test_sum_and_product(self):
+        counting = CountingSemiring()
+        assert counting.sum([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+        assert counting.product([2.0, 3.0]) == pytest.approx(6.0)
+        assert counting.sum([]) == counting.zero
+        assert counting.product([]) == counting.one
+
+    def test_scale_and_power(self):
+        counting = CountingSemiring()
+        assert counting.scale(2.5, 3) == pytest.approx(7.5)
+        assert counting.power(2.0, 3) == pytest.approx(8.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(SemiringError):
+            CountingSemiring().scale(1.0, -1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SemiringError):
+            CountingSemiring().power(2.0, -1)
+
+
+class TestHomomorphicEvaluation:
+    def test_counting_evaluation_matches_polynomial_evaluate(self):
+        p = Polynomial.from_terms([(2, ["x", "y"]), (3, ["y"]), (1, [])])
+        valuation = {"x": 2.0, "y": 3.0}
+        value = evaluate_in_semiring(
+            p, CountingSemiring(), valuation, coefficient_embedding=float
+        )
+        assert value == pytest.approx(p.evaluate(valuation))
+
+    def test_boolean_evaluation(self):
+        # x*y + z under x=True, y=False, z=True is True.
+        p = Polynomial.from_terms([(1, ["x", "y"]), (1, ["z"])])
+        assert evaluate_in_semiring(
+            p, BooleanSemiring(), {"x": True, "y": False, "z": True}
+        ) is True
+        assert evaluate_in_semiring(
+            p, BooleanSemiring(), {"x": True, "y": False, "z": False}
+        ) is False
+
+    def test_tropical_evaluation_is_min_cost(self):
+        # x*y + z: cost of first derivation is x+y, of second is z.
+        p = Polynomial.from_terms([(1, ["x", "y"]), (1, ["z"])])
+        cost = evaluate_in_semiring(
+            p, TropicalSemiring(), {"x": 2.0, "y": 3.0, "z": 10.0}
+        )
+        assert cost == pytest.approx(5.0)
+
+    def test_lineage_evaluation_collects_variables(self):
+        p = Polynomial.from_terms([(1, ["x", "y"]), (2, ["z"])])
+        lineage = evaluate_in_semiring(
+            p,
+            LineageSemiring(),
+            {"x": frozenset({"x"}), "y": frozenset({"y"}), "z": frozenset({"z"})},
+        )
+        assert lineage == frozenset({"x", "y", "z"})
+
+    def test_why_evaluation_builds_witnesses(self):
+        p = Polynomial.from_terms([(1, ["x", "y"]), (1, ["z"])])
+        why = evaluate_in_semiring(
+            p,
+            WhySemiring(),
+            {
+                "x": WhySemiring.of("x"),
+                "y": WhySemiring.of("y"),
+                "z": WhySemiring.of("z"),
+            },
+        )
+        assert frozenset({"x", "y"}) in why
+        assert frozenset({"z"}) in why
+
+    def test_polynomial_semiring_substitution(self):
+        # Evaluating x+y in N[X] with x -> a*b reproduces substitution.
+        p = Polynomial.from_terms([(1, ["x"]), (1, ["y"])])
+        result = evaluate_in_semiring(
+            p,
+            PolynomialSemiring(),
+            {
+                "x": Polynomial.from_terms([(1, ["a", "b"])]),
+                "y": Polynomial.variable("y"),
+            },
+        )
+        assert result == Polynomial.from_terms([(1, ["a", "b"]), (1, ["y"])])
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(MissingValuationError):
+            evaluate_in_semiring(Polynomial.variable("x"), BooleanSemiring(), {})
+
+    def test_non_integer_coefficient_requires_embedding(self):
+        p = Polynomial.from_terms([(2.5, ["x"])])
+        with pytest.raises(SemiringError):
+            evaluate_in_semiring(p, BooleanSemiring(), {"x": True})
+
+    def test_exponents_respected(self):
+        p = Polynomial({list(Polynomial.variable("x").terms())[0][0]: 1.0})
+        squared = Polynomial.from_terms([(1, ["x", "x"])])
+        value = evaluate_in_semiring(
+            squared, CountingSemiring(), {"x": 3.0}, coefficient_embedding=float
+        )
+        assert value == pytest.approx(9.0)
+        assert p is not None

@@ -1,0 +1,98 @@
+"""Unit tests for JSON serialisation of provenance objects."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidPolynomialError
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.serialization import (
+    load_polynomials,
+    load_provenance_set,
+    load_valuation,
+    polynomial_from_dict,
+    polynomial_to_dict,
+    provenance_set_from_dict,
+    provenance_set_to_dict,
+    save_polynomials,
+    save_provenance_set,
+    save_valuation,
+    valuation_from_dict,
+    valuation_to_dict,
+)
+from repro.provenance.valuation import Valuation
+
+
+@pytest.fixture
+def sample_polynomial():
+    return Polynomial.from_terms(
+        [(208.8, ["p1", "m1"]), (240.0, ["p1", "m3"]), (1.0, [])]
+    )
+
+
+@pytest.fixture
+def sample_provenance(sample_polynomial):
+    provenance = ProvenanceSet()
+    provenance[("10001",)] = sample_polynomial
+    provenance[("10002",)] = Polynomial.from_terms([(77.9, ["b1", "m1"])])
+    return provenance
+
+
+class TestPolynomialRoundTrip:
+    def test_round_trip(self, sample_polynomial):
+        data = polynomial_to_dict(sample_polynomial)
+        assert polynomial_from_dict(data).almost_equal(sample_polynomial)
+
+    def test_dict_is_json_serialisable(self, sample_polynomial):
+        json.dumps(polynomial_to_dict(sample_polynomial))
+
+    def test_missing_terms_key_raises(self):
+        with pytest.raises(InvalidPolynomialError):
+            polynomial_from_dict({})
+
+    def test_exponents_survive(self):
+        p = Polynomial({Monomial({"x": 3}): 2.0})
+        assert polynomial_from_dict(polynomial_to_dict(p)) == p
+
+    def test_zero_polynomial(self):
+        assert polynomial_from_dict(polynomial_to_dict(Polynomial.zero())).is_zero()
+
+
+class TestProvenanceSetRoundTrip:
+    def test_round_trip(self, sample_provenance):
+        data = provenance_set_to_dict(sample_provenance)
+        restored = provenance_set_from_dict(data)
+        assert restored.almost_equal(sample_provenance)
+        assert restored.keys() == sample_provenance.keys()
+
+    def test_file_round_trip(self, sample_provenance, tmp_path):
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        assert load_provenance_set(path).almost_equal(sample_provenance)
+
+    def test_empty_set(self):
+        assert len(provenance_set_from_dict({"groups": []})) == 0
+
+
+class TestValuationRoundTrip:
+    def test_round_trip(self):
+        valuation = Valuation({"p1": 1.0, "m3": 0.8})
+        assert valuation_from_dict(valuation_to_dict(valuation)).as_dict() == {
+            "p1": 1.0,
+            "m3": 0.8,
+        }
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "valuation.json"
+        save_valuation(Valuation({"x": 2.5}), path)
+        assert load_valuation(path)["x"] == pytest.approx(2.5)
+
+
+class TestPolynomialListRoundTrip:
+    def test_file_round_trip(self, sample_polynomial, tmp_path):
+        path = tmp_path / "polys.json"
+        save_polynomials([sample_polynomial, Polynomial.one()], path)
+        restored = load_polynomials(path)
+        assert len(restored) == 2
+        assert restored[0].almost_equal(sample_polynomial)

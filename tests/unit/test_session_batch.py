@@ -1,0 +1,47 @@
+"""Unit tests for batch scenario comparison on a session."""
+
+import pytest
+
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.workloads.abstraction_trees import plans_tree
+
+
+@pytest.fixture
+def session(example2):
+    session = CobraSession(example2)
+    session.set_abstraction_trees(plans_tree())
+    session.set_bound(6)
+    session.compress()
+    return session
+
+
+class TestCompareScenarios:
+    def test_one_report_per_scenario(self, session):
+        scenarios = [
+            Scenario("march").scale(["m3"], 0.8),
+            Scenario("business").scale(["b1", "b2", "e"], 1.1),
+            Scenario("freeze veterans").set_value(["v"], 0.0),
+        ]
+        reports = session.compare_scenarios(scenarios)
+        assert set(reports) == {"march", "business", "freeze veterans"}
+        for report in reports.values():
+            assert report.full_size == session.provenance.size()
+
+    def test_reports_reflect_their_scenario(self, session):
+        reports = session.compare_scenarios(
+            [
+                Scenario("noop"),
+                Scenario("march").scale(["m3"], 0.8),
+            ]
+        )
+        noop_total = sum(group.full_result for group in reports["noop"].groups)
+        march_total = sum(group.full_result for group in reports["march"].groups)
+        assert march_total < noop_total
+
+    def test_empty_scenario_list(self, session):
+        assert session.compare_scenarios([]) == {}
+
+    def test_speedup_disabled_by_default(self, session):
+        reports = session.compare_scenarios([Scenario("march").scale(["m3"], 0.8)])
+        assert reports["march"].speedup is None

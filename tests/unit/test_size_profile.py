@@ -1,0 +1,74 @@
+"""Unit tests for the size/expressiveness Pareto frontier (compute_size_profile)."""
+
+import pytest
+
+from repro.core.brute_force import optimize_brute_force
+from repro.core.compression import apply_abstraction
+from repro.core.cut import enumerate_cuts
+from repro.core.optimizer import compute_size_profile, optimize_single_tree
+from repro.exceptions import SessionStateError
+from repro.engine.session import CobraSession
+from repro.workloads.abstraction_trees import months_tree, plans_tree
+from repro.workloads.random_polynomials import random_single_tree_instance
+
+
+class TestComputeSizeProfile:
+    def test_profile_on_simple_instance(self, simple_provenance, simple_tree):
+        profile = compute_size_profile(simple_provenance, simple_tree)
+        # The finest cut has 5 nodes and the full size; the coarsest 1 node.
+        assert profile[5] == simple_provenance.size()
+        assert min(profile) == 1
+        assert max(profile) == 5
+
+    def test_profile_is_monotone(self, simple_provenance, simple_tree):
+        profile = compute_size_profile(simple_provenance, simple_tree)
+        cardinalities = sorted(profile)
+        sizes = [profile[k] for k in cardinalities]
+        assert sizes == sorted(sizes)
+
+    def test_profile_matches_exhaustive_minimum(self, simple_provenance, simple_tree):
+        profile = compute_size_profile(simple_provenance, simple_tree)
+        best_by_cardinality = {}
+        for cut in enumerate_cuts(simple_tree):
+            size = apply_abstraction(simple_provenance, cut).compressed_size
+            k = cut.num_variables()
+            best_by_cardinality[k] = min(best_by_cardinality.get(k, size), size)
+        assert profile == best_by_cardinality
+
+    def test_profile_consistent_with_optimizer(self):
+        provenance, tree = random_single_tree_instance(num_leaves=7, seed=3)
+        profile = compute_size_profile(provenance, tree)
+        for cardinality, size in profile.items():
+            result = optimize_single_tree(provenance, tree, bound=size)
+            # At that bound the optimizer keeps at least `cardinality` variables.
+            assert result.cut.num_variables() >= cardinality
+
+    def test_profile_on_running_example(self, example2, fig2_tree):
+        profile = compute_size_profile(example2, fig2_tree)
+        assert profile[1] == 4     # the root cut (S5 on both polynomials)
+        assert profile[11] == 14   # the leaf cut
+        assert profile[3] == 6     # the S1-level size
+
+
+class TestSessionSizeProfile:
+    def test_session_profile(self, example2, fig2_tree):
+        session = CobraSession(example2)
+        session.set_abstraction_trees(fig2_tree)
+        profile = session.size_profile()
+        assert profile[1] == 4
+        assert profile[11] == 14
+
+    def test_requires_tree(self, example2):
+        session = CobraSession(example2)
+        with pytest.raises(SessionStateError):
+            session.size_profile()
+
+    def test_rejects_forests(self, example2, fig2_tree):
+        from repro.core.abstraction_tree import AbstractionForest
+
+        session = CobraSession(example2)
+        session.set_abstraction_trees(
+            AbstractionForest([fig2_tree, months_tree(3)])
+        )
+        with pytest.raises(SessionStateError):
+            session.size_profile()

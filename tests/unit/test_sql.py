@@ -1,0 +1,162 @@
+"""Unit tests for the miniature SQL dialect."""
+
+import pytest
+
+from repro.exceptions import SQLParseError
+from repro.db.catalog import Catalog
+from repro.db.executor import execute
+from repro.db.query import GroupBy, Join, Project
+from repro.db.schema import ColumnType, Schema
+from repro.db.sql import parse_sql
+from repro.db.table import Table
+from repro.workloads.telephony import figure1_catalog, revenue_query, revenue_query_sql
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add(
+        Table(
+            "Emp",
+            Schema.of(
+                ("eid", ColumnType.INTEGER),
+                ("dept", ColumnType.STRING),
+                ("salary", ColumnType.FLOAT),
+                ("bonus", ColumnType.FLOAT),
+            ),
+            [
+                (1, "eng", 100.0, 10.0),
+                (2, "eng", 120.0, 5.0),
+                (3, "sales", 90.0, 20.0),
+            ],
+        )
+    )
+    catalog.add(
+        Table(
+            "Dept",
+            Schema.of(("dname", ColumnType.STRING), ("city", ColumnType.STRING)),
+            [("eng", "TLV"), ("sales", "NYC")],
+        )
+    )
+    return catalog
+
+
+class TestParseStructure:
+    def test_simple_projection(self, catalog):
+        query = parse_sql("SELECT eid, dept FROM Emp", catalog)
+        assert isinstance(query.plan, Project)
+
+    def test_aggregate_becomes_groupby(self, catalog):
+        query = parse_sql(
+            "SELECT dept, SUM(salary) AS total FROM Emp GROUP BY dept", catalog
+        )
+        assert isinstance(query.plan, GroupBy)
+        assert query.plan.keys == ("dept",)
+        assert query.plan.aggregates[0][0] == "total"
+
+    def test_join_predicates_become_joins(self, catalog):
+        query = parse_sql(
+            "SELECT city, SUM(salary) AS total FROM Emp, Dept "
+            "WHERE Emp.dept = Dept.dname GROUP BY city",
+            catalog,
+        )
+        node = query.plan
+        assert isinstance(node, GroupBy)
+        assert isinstance(node.child, Join)
+
+    def test_default_alias_for_aggregate(self, catalog):
+        query = parse_sql("SELECT dept, SUM(salary) FROM Emp GROUP BY dept", catalog)
+        assert query.plan.aggregates[0][0] == "sum"
+
+    def test_count_star(self, catalog):
+        query = parse_sql("SELECT dept, COUNT(*) AS n FROM Emp GROUP BY dept", catalog)
+        assert query.plan.aggregates[0][1] == "count"
+
+
+class TestExecuteParsedQueries:
+    def test_projection_results(self, catalog):
+        relation = execute(parse_sql("SELECT eid FROM Emp", catalog), catalog)
+        assert sorted(row["eid"] for row in relation) == [1, 2, 3]
+
+    def test_filter_with_literal(self, catalog):
+        relation = execute(
+            parse_sql("SELECT eid FROM Emp WHERE salary > 95", catalog), catalog
+        )
+        assert sorted(row["eid"] for row in relation) == [1, 2]
+
+    def test_string_literal_filter(self, catalog):
+        relation = execute(
+            parse_sql("SELECT eid FROM Emp WHERE dept = 'eng'", catalog), catalog
+        )
+        assert sorted(row["eid"] for row in relation) == [1, 2]
+
+    def test_group_by_sum(self, catalog):
+        relation = execute(
+            parse_sql(
+                "SELECT dept, SUM(salary) AS total FROM Emp GROUP BY dept", catalog
+            ),
+            catalog,
+        )
+        totals = {row["dept"]: row["total"] for row in relation}
+        assert totals["eng"] == pytest.approx(220.0)
+        assert totals["sales"] == pytest.approx(90.0)
+
+    def test_arithmetic_in_aggregate(self, catalog):
+        relation = execute(
+            parse_sql(
+                "SELECT dept, SUM(salary + bonus) AS comp FROM Emp GROUP BY dept",
+                catalog,
+            ),
+            catalog,
+        )
+        comp = {row["dept"]: row["comp"] for row in relation}
+        assert comp["eng"] == pytest.approx(235.0)
+
+    def test_join_execution(self, catalog):
+        relation = execute(
+            parse_sql(
+                "SELECT city, SUM(salary) AS total FROM Emp, Dept "
+                "WHERE Emp.dept = Dept.dname GROUP BY city",
+                catalog,
+            ),
+            catalog,
+        )
+        totals = {row["city"]: row["total"] for row in relation}
+        assert totals == {"TLV": pytest.approx(220.0), "NYC": pytest.approx(90.0)}
+
+
+class TestRunningExampleSQL:
+    def test_paper_query_parses_and_matches_fluent_query(self):
+        catalog = figure1_catalog()
+        parsed = parse_sql(revenue_query_sql(), catalog)
+        built = revenue_query()
+        parsed_result = execute(parsed, catalog)
+        built_result = execute(built, catalog)
+        parsed_totals = {row["Zip"]: row["revenue"] for row in parsed_result}
+        built_totals = {row["Zip"]: row["revenue"] for row in built_result}
+        assert parsed_totals.keys() == built_totals.keys()
+        for zip_code in parsed_totals:
+            assert parsed_totals[zip_code] == pytest.approx(built_totals[zip_code])
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT x FROM",
+            "SELECT x FRM Emp",
+            "SELECT salary + bonus FROM Emp",        # computed column needs AS
+            "SELECT eid FROM Emp WHERE",
+            "SELECT eid FROM Emp GROUP BY dept",      # group by without aggregate
+            "SELECT eid FROM Emp, Dept",               # cross product unsupported
+            "SELECT eid FROM Emp WHERE salary ~ 3",
+        ],
+    )
+    def test_malformed_statements(self, sql, catalog):
+        with pytest.raises(SQLParseError):
+            parse_sql(sql, catalog)
+
+    def test_unknown_column_in_where(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT eid FROM Emp WHERE wages > 3", catalog)

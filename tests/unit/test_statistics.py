@@ -1,0 +1,78 @@
+"""Unit tests for provenance statistics."""
+
+import pytest
+
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.statistics import describe_provenance
+
+
+@pytest.fixture
+def provenance():
+    result = ProvenanceSet()
+    result[("a",)] = Polynomial(
+        {
+            Monomial.of("x", "m1"): 2.0,
+            Monomial.of("y", "m1"): -3.0,
+            Monomial({"x": 2}): 1.0,
+        }
+    )
+    result[("b",)] = Polynomial({Monomial.of("x"): 4.0, Monomial.unit(): 1.0})
+    return result
+
+
+class TestDescribeProvenance:
+    def test_scalar_fields(self, provenance):
+        stats = describe_provenance(provenance)
+        assert stats.num_groups == 2
+        assert stats.size == 5
+        assert stats.num_variables == 3
+        assert stats.min_monomials_per_group == 2
+        assert stats.max_monomials_per_group == 3
+        assert stats.mean_monomials_per_group == pytest.approx(2.5)
+
+    def test_degree_histogram(self, provenance):
+        stats = describe_provenance(provenance)
+        assert stats.degree_histogram == {0: 1, 1: 1, 2: 3}
+
+    def test_variable_occurrences(self, provenance):
+        stats = describe_provenance(provenance)
+        assert stats.variable_occurrences["x"] == 3
+        assert stats.variable_occurrences["m1"] == 2
+        assert stats.variable_occurrences["y"] == 1
+
+    def test_variable_mass_uses_absolute_values(self, provenance):
+        stats = describe_provenance(provenance)
+        assert stats.variable_mass["y"] == pytest.approx(3.0)
+        assert stats.variable_mass["x"] == pytest.approx(2.0 + 1.0 + 4.0)
+
+    def test_top_variables(self, provenance):
+        stats = describe_provenance(provenance)
+        assert stats.top_variables_by_occurrence(1)[0][0] == "x"
+        assert stats.top_variables_by_mass(1)[0][0] == "x"
+        assert len(stats.top_variables_by_occurrence(2)) == 2
+
+    def test_empty_provenance(self):
+        stats = describe_provenance(ProvenanceSet())
+        assert stats.num_groups == 0
+        assert stats.size == 0
+        assert stats.min_monomials_per_group == 0
+        assert stats.mean_monomials_per_group == 0.0
+
+    def test_as_dict_and_render(self, provenance):
+        stats = describe_provenance(provenance)
+        data = stats.as_dict()
+        assert data["size"] == 5
+        text = stats.render_text()
+        assert "groups: 2" in text
+        assert "x" in text
+
+    def test_on_running_example(self, example2):
+        stats = describe_provenance(example2)
+        assert stats.size == 14
+        assert stats.num_variables == 9
+        # Every monomial of the running example is a product of two variables.
+        assert stats.degree_histogram == {2: 14}
+        # The month variables appear in the most monomials (7 each).
+        top = dict(stats.top_variables_by_occurrence(2))
+        assert top == {"m1": 7, "m3": 7}

@@ -1,0 +1,127 @@
+"""Unit tests for tables, relations and the catalog."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownTableError
+from repro.db.catalog import Catalog
+from repro.db.schema import ColumnType, Schema
+from repro.db.table import AnnotatedRow, Relation, Table
+from repro.provenance.polynomial import Polynomial
+
+
+@pytest.fixture
+def cust_table():
+    schema = Schema.of(
+        ("ID", ColumnType.INTEGER), ("Plan", ColumnType.STRING), ("Zip", ColumnType.STRING)
+    )
+    return Table(
+        "Cust",
+        schema,
+        [(1, "A", "10001"), (2, "F1", "10001"), (3, "SB1", "10002")],
+    )
+
+
+class TestTable:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Table("", Schema.of("a"))
+
+    def test_insert_positional_and_mapping(self, cust_table):
+        cust_table.insert({"ID": 4, "Plan": "V", "Zip": "10001"})
+        assert len(cust_table) == 4
+        assert cust_table.rows()[-1] == (4, "V", "10001")
+
+    def test_insert_mapping_with_unknown_column_raises(self, cust_table):
+        with pytest.raises(SchemaError):
+            cust_table.insert({"ID": 4, "Plan": "V", "Zipcode": "10001"})
+
+    def test_insert_validates_types(self, cust_table):
+        with pytest.raises(SchemaError):
+            cust_table.insert(("five", "A", "10001"))
+
+    def test_insert_many(self, cust_table):
+        cust_table.insert_many([(5, "E", "10002"), (6, "Y1", "10001")])
+        assert len(cust_table) == 5
+
+    def test_iteration_yields_dicts(self, cust_table):
+        rows = list(cust_table)
+        assert rows[0] == {"ID": 1, "Plan": "A", "Zip": "10001"}
+
+    def test_column_and_distinct_values(self, cust_table):
+        assert cust_table.column_values("Zip") == ["10001", "10001", "10002"]
+        assert cust_table.distinct_values("Zip") == ["10001", "10002"]
+
+    def test_to_relation_default_annotation_is_one(self, cust_table):
+        relation = cust_table.to_relation()
+        assert len(relation) == 3
+        assert all(row.annotation == Polynomial.one() for row in relation)
+
+    def test_to_relation_with_annotation_provider(self, cust_table):
+        relation = cust_table.to_relation(
+            lambda row: Polynomial.variable(f"t{row['ID']}")
+        )
+        assert relation.rows[0].annotation == Polynomial.variable("t1")
+
+    def test_map_column_switches_to_symbolic(self, cust_table):
+        table = cust_table.map_column("Plan", lambda row: Polynomial.variable("x"))
+        assert table.schema.column("Plan").type is ColumnType.SYMBOLIC
+        assert isinstance(table.rows()[0][1], Polynomial)
+
+
+class TestAnnotatedRowAndRelation:
+    def test_annotated_row_access(self):
+        row = AnnotatedRow({"a": 1, "b": "x"})
+        assert row["a"] == 1
+        assert row.get("missing", 7) == 7
+        assert row.annotation == Polynomial.one()
+
+    def test_with_values_and_annotation(self):
+        row = AnnotatedRow({"a": 1})
+        replaced = row.with_values({"a": 2}).with_annotation(Polynomial.variable("t"))
+        assert replaced["a"] == 2
+        assert replaced.annotation == Polynomial.variable("t")
+
+    def test_relation_column_values_and_tuples(self):
+        schema = Schema.of("a", "b")
+        relation = Relation(
+            schema,
+            [AnnotatedRow({"a": "x", "b": "y"}), AnnotatedRow({"a": "z", "b": "w"})],
+        )
+        assert relation.column_values("a") == ["x", "z"]
+        assert relation.to_tuples(["b"]) == [("y",), ("w",)]
+        assert relation.to_tuples() == [("x", "y"), ("z", "w")]
+
+
+class TestCatalog:
+    def test_add_and_get(self, cust_table):
+        catalog = Catalog()
+        catalog.add(cust_table)
+        assert catalog.get("Cust") is cust_table
+        assert catalog["Cust"] is cust_table
+        assert "Cust" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_add_raises_unless_replace(self, cust_table):
+        catalog = Catalog()
+        catalog.add(cust_table)
+        with pytest.raises(SchemaError):
+            catalog.add(cust_table)
+        catalog.replace(cust_table)
+        assert len(catalog) == 1
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Catalog().get("Nope")
+
+    def test_create_table(self):
+        catalog = Catalog()
+        table = catalog.create_table("T", Schema.of("a"), [("x",)])
+        assert catalog.get("T") is table
+        assert len(table) == 1
+
+    def test_names_and_total_rows(self, cust_table):
+        catalog = Catalog()
+        catalog.add(cust_table)
+        catalog.create_table("Other", Schema.of("a"), [("x",), ("y",)])
+        assert catalog.names() == ("Cust", "Other")
+        assert catalog.total_rows() == 5

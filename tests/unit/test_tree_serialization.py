@@ -1,0 +1,54 @@
+"""Unit tests for abstraction-tree / forest (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidTreeError
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.workloads.abstraction_trees import months_tree, plans_tree
+
+
+class TestTreeRoundTrip:
+    def test_round_trip_simple(self, simple_tree):
+        restored = AbstractionTree.from_dict(simple_tree.to_dict())
+        assert restored.nodes() == simple_tree.nodes()
+        assert restored.leaves() == simple_tree.leaves()
+        for name in simple_tree.nodes():
+            assert restored.children(name) == simple_tree.children(name)
+
+    def test_round_trip_figure2(self):
+        tree = plans_tree()
+        restored = AbstractionTree.from_dict(tree.to_dict())
+        assert set(restored.leaves()) == set(tree.leaves())
+        assert restored.root == "Plans"
+
+    def test_dict_is_json_serialisable(self):
+        data = plans_tree().to_dict()
+        restored = AbstractionTree.from_dict(json.loads(json.dumps(data)))
+        assert restored.leaves() == plans_tree().leaves()
+
+    def test_single_leaf_tree(self):
+        tree = AbstractionTree("only", {})
+        restored = AbstractionTree.from_dict(tree.to_dict())
+        assert restored.leaves() == ("only",)
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree.from_dict({"edges": {}})
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionTree.from_dict({"root": "R", "edges": ["not", "a", "mapping"]})
+
+
+class TestForestRoundTrip:
+    def test_round_trip(self):
+        forest = AbstractionForest([plans_tree(), months_tree(12)])
+        restored = AbstractionForest.from_dict(forest.to_dict())
+        assert len(restored) == 2
+        assert set(restored.leaves()) == set(forest.leaves())
+
+    def test_missing_trees_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            AbstractionForest.from_dict({})

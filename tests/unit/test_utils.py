@@ -1,0 +1,84 @@
+"""Unit tests for the timing and statistics utilities."""
+
+import pytest
+
+from repro.utils.stats import Summary, mean, median, percentile, stddev, summarize
+from repro.utils.timing import (
+    SpeedupMeasurement,
+    Timer,
+    measure_speedup,
+    time_callable,
+)
+
+
+class TestTimer:
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed >= 0.0
+
+    def test_time_callable_returns_result_and_best(self):
+        result, seconds = time_callable(lambda: 21 * 2, repeats=3)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_time_callable_requires_positive_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: 1, repeats=0)
+
+
+class TestSpeedup:
+    def test_speedup_fraction_and_ratio(self):
+        measurement = SpeedupMeasurement(baseline_seconds=2.0, optimized_seconds=0.5)
+        assert measurement.speedup_fraction == pytest.approx(0.75)
+        assert measurement.speedup_ratio == pytest.approx(4.0)
+
+    def test_degenerate_measurements(self):
+        assert SpeedupMeasurement(0.0, 1.0).speedup_fraction == 0.0
+        assert SpeedupMeasurement(1.0, 0.0).speedup_ratio == float("inf")
+
+    def test_measure_speedup_orders_arguments_correctly(self):
+        def slow():
+            return sum(range(200_000))
+
+        def fast():
+            return 0
+
+        measurement = measure_speedup(slow, fast, repeats=1)
+        assert measurement.baseline_seconds >= measurement.optimized_seconds
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+        assert median([1, 2, 3]) == pytest.approx(2.0)
+        assert median([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_percentile(self):
+        data = list(range(1, 101))
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == pytest.approx(median(data))
+        assert percentile([5.0], 75) == 5.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 101)
+
+    def test_stddev(self):
+        assert stddev([2, 2, 2]) == pytest.approx(0.0)
+        assert stddev([1, 3]) == pytest.approx(1.0)
+
+    def test_empty_sequences_rejected(self):
+        for func in (mean, median, stddev, summarize):
+            with pytest.raises(ValueError):
+                func([])
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert isinstance(summary, Summary)
+        assert summary.count == 5
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.as_dict()["p95"] >= summary.median

@@ -1,0 +1,150 @@
+"""Unit tests for valuations and the compiled (vectorised) evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MissingValuationError
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import (
+    CompiledPolynomial,
+    CompiledProvenanceSet,
+    Valuation,
+)
+
+
+@pytest.fixture
+def p1():
+    return Polynomial.from_terms(
+        [
+            (208.8, ["p1", "m1"]),
+            (240.0, ["p1", "m3"]),
+            (42.0, ["v", "m1"]),
+            (24.2, ["v", "m3"]),
+            (5.0, []),
+        ]
+    )
+
+
+class TestValuation:
+    def test_mapping_interface(self):
+        valuation = Valuation({"x": 1.5, "y": 2})
+        assert valuation["x"] == pytest.approx(1.5)
+        assert valuation["y"] == pytest.approx(2.0)
+        assert len(valuation) == 2
+        assert set(valuation) == {"x", "y"}
+        assert "x" in valuation
+
+    def test_uniform(self):
+        valuation = Valuation.uniform(["a", "b"], 0.5)
+        assert valuation["a"] == valuation["b"] == pytest.approx(0.5)
+
+    def test_identity_for_polynomial(self, p1):
+        valuation = Valuation.identity_for(p1)
+        assert set(valuation) == set(p1.variables())
+        assert all(value == 1.0 for value in valuation.values())
+
+    def test_updated_does_not_mutate(self):
+        original = Valuation({"x": 1.0})
+        updated = original.updated({"x": 2.0, "y": 3.0})
+        assert original["x"] == 1.0
+        assert updated["x"] == 2.0
+        assert updated["y"] == 3.0
+
+    def test_scaled(self):
+        valuation = Valuation({"m1": 1.0, "m3": 1.0}).scaled(["m3"], 0.8)
+        assert valuation["m3"] == pytest.approx(0.8)
+        assert valuation["m1"] == pytest.approx(1.0)
+
+    def test_scaled_treats_missing_as_one(self):
+        valuation = Valuation({}).scaled(["m3"], 0.8)
+        assert valuation["m3"] == pytest.approx(0.8)
+
+    def test_restricted(self):
+        valuation = Valuation({"a": 1, "b": 2}).restricted(["b", "c"])
+        assert set(valuation) == {"b"}
+
+    def test_covers_and_missing(self):
+        valuation = Valuation({"a": 1})
+        assert valuation.covers(["a"])
+        assert not valuation.covers(["a", "b"])
+        assert valuation.missing(["b", "a", "c"]) == ("b", "c")
+
+
+class TestCompiledPolynomial:
+    def test_matches_naive_evaluation(self, p1):
+        compiled = CompiledPolynomial(p1)
+        valuation = {"p1": 1.1, "v": 0.9, "m1": 1.0, "m3": 0.8}
+        assert compiled.evaluate(valuation) == pytest.approx(p1.evaluate(valuation))
+
+    def test_constant_only_polynomial(self):
+        compiled = CompiledPolynomial(Polynomial.constant(4.5))
+        assert compiled.evaluate({}) == pytest.approx(4.5)
+        assert compiled.num_monomials() == 1
+
+    def test_exponents(self):
+        p = Polynomial({Monomial({"x": 3}): 2.0, Monomial.of("x", "y"): 1.0})
+        compiled = CompiledPolynomial(p)
+        valuation = {"x": 2.0, "y": 5.0}
+        assert compiled.evaluate(valuation) == pytest.approx(p.evaluate(valuation))
+
+    def test_missing_variable_raises(self, p1):
+        with pytest.raises(MissingValuationError):
+            CompiledPolynomial(p1).evaluate({"p1": 1.0})
+
+    def test_num_monomials(self, p1):
+        assert CompiledPolynomial(p1).num_monomials() == p1.num_monomials()
+
+    def test_evaluate_many(self, p1):
+        compiled = CompiledPolynomial(p1)
+        valuations = [
+            {"p1": 1.0, "v": 1.0, "m1": 1.0, "m3": 1.0},
+            {"p1": 1.0, "v": 1.0, "m1": 1.0, "m3": 0.8},
+        ]
+        results = compiled.evaluate_many(valuations)
+        assert results.shape == (2,)
+        assert results[0] == pytest.approx(p1.evaluate(valuations[0]))
+        assert results[1] == pytest.approx(p1.evaluate(valuations[1]))
+
+
+class TestCompiledProvenanceSet:
+    @pytest.fixture
+    def provenance(self, p1):
+        provenance = ProvenanceSet()
+        provenance[("10001",)] = p1
+        provenance[("10002",)] = Polynomial.from_terms(
+            [(77.9, ["b1", "m1"]), (80.5, ["b1", "m3"]), (3.0, [])]
+        )
+        return provenance
+
+    def test_matches_naive_evaluation(self, provenance):
+        compiled = CompiledProvenanceSet(provenance)
+        valuation = Valuation.uniform(provenance.variables(), 1.0).updated({"m3": 0.8})
+        naive = provenance.evaluate(valuation)
+        fast = compiled.evaluate(valuation)
+        assert set(fast) == set(naive)
+        for key in naive:
+            assert fast[key] == pytest.approx(naive[key])
+
+    def test_size_matches(self, provenance):
+        assert CompiledProvenanceSet(provenance).size() == provenance.size()
+
+    def test_keys_order_preserved(self, provenance):
+        assert CompiledProvenanceSet(provenance).keys == provenance.keys()
+
+    def test_evaluate_vector_alignment(self, provenance):
+        compiled = CompiledProvenanceSet(provenance)
+        valuation = Valuation.uniform(provenance.variables(), 1.0)
+        vector = compiled.evaluate_vector(valuation)
+        mapping = compiled.evaluate(valuation)
+        for index, key in enumerate(compiled.keys):
+            assert vector[index] == pytest.approx(mapping[key])
+
+    def test_missing_variable_raises(self, provenance):
+        with pytest.raises(MissingValuationError):
+            CompiledProvenanceSet(provenance).evaluate({"p1": 1.0})
+
+    def test_empty_set(self):
+        compiled = CompiledProvenanceSet(ProvenanceSet())
+        assert compiled.size() == 0
+        assert compiled.evaluate({}) == {}

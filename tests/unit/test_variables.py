@@ -1,0 +1,112 @@
+"""Unit tests for provenance variables and the variable registry."""
+
+import pytest
+
+from repro.exceptions import InvalidVariableNameError
+from repro.provenance.variables import (
+    Variable,
+    VariableRegistry,
+    validate_variable_name,
+    variable_name,
+)
+
+
+class TestValidateVariableName:
+    def test_accepts_simple_names(self):
+        assert validate_variable_name("p1") == "p1"
+        assert validate_variable_name("m3") == "m3"
+        assert validate_variable_name("_hidden") == "_hidden"
+
+    def test_accepts_dots_and_dashes(self):
+        assert validate_variable_name("n_united.states-1") == "n_united.states-1"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidVariableNameError):
+            validate_variable_name("")
+
+    def test_rejects_none(self):
+        with pytest.raises(InvalidVariableNameError):
+            validate_variable_name(None)
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(InvalidVariableNameError):
+            validate_variable_name("1p")
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(InvalidVariableNameError):
+            validate_variable_name("p 1")
+
+    def test_rejects_operator_characters(self):
+        with pytest.raises(InvalidVariableNameError):
+            validate_variable_name("p*1")
+
+
+class TestVariable:
+    def test_name_is_validated(self):
+        with pytest.raises(InvalidVariableNameError):
+            Variable("not a name")
+
+    def test_metadata_is_kept(self):
+        variable = Variable("p1", table="Plans", column="Price", key=("A", 1))
+        assert variable.table == "Plans"
+        assert variable.column == "Price"
+        assert variable.key == ("A", 1)
+
+    def test_str_is_name(self):
+        assert str(Variable("p1")) == "p1"
+
+    def test_variable_name_coercion(self):
+        assert variable_name(Variable("p1")) == "p1"
+        assert variable_name("m1") == "m1"
+
+
+class TestVariableRegistry:
+    def test_declare_and_get(self):
+        registry = VariableRegistry()
+        variable = registry.declare("p1", table="Plans")
+        assert registry.get("p1") is variable
+        assert "p1" in registry
+        assert len(registry) == 1
+
+    def test_redeclare_identical_is_noop(self):
+        registry = VariableRegistry()
+        first = registry.declare("p1", table="Plans")
+        second = registry.declare("p1", table="Plans")
+        assert first == second
+        assert len(registry) == 1
+
+    def test_redeclare_conflicting_metadata_raises(self):
+        registry = VariableRegistry()
+        registry.declare("p1", table="Plans")
+        with pytest.raises(InvalidVariableNameError):
+            registry.declare("p1", table="Calls")
+
+    def test_fresh_names_are_unique_and_deterministic(self):
+        registry = VariableRegistry()
+        names = [registry.fresh("x").name for _ in range(5)]
+        assert names == ["x_1", "x_2", "x_3", "x_4", "x_5"]
+
+    def test_fresh_skips_explicitly_taken_names(self):
+        registry = VariableRegistry()
+        registry.declare("x_1")
+        assert registry.fresh("x").name == "x_2"
+
+    def test_by_table(self):
+        registry = VariableRegistry()
+        registry.declare("p1", table="Plans")
+        registry.declare("m1", table="Calls")
+        registry.declare("p2", table="Plans")
+        assert {v.name for v in registry.by_table("Plans")} == {"p1", "p2"}
+
+    def test_iteration_and_names(self):
+        registry = VariableRegistry()
+        registry.declare("a")
+        registry.declare("b")
+        assert registry.names() == ("a", "b")
+        assert [v.name for v in registry] == ["a", "b"]
+
+    def test_as_mapping_is_a_copy(self):
+        registry = VariableRegistry()
+        registry.declare("a")
+        mapping = registry.as_mapping()
+        assert set(mapping) == {"a"}

@@ -1,0 +1,124 @@
+"""Unit tests for the telephony workload generators."""
+
+import pytest
+
+from repro.db.executor import execute
+from repro.workloads.abstraction_trees import PLAN_VARIABLES, plans_tree
+from repro.workloads.telephony import (
+    BASE_PLAN_PRICES,
+    TelephonyConfig,
+    build_revenue_provenance,
+    example2_provenance,
+    figure1_catalog,
+    generate_revenue_provenance,
+    generate_telephony_catalog,
+    revenue_query,
+)
+
+
+class TestFigure1Catalog:
+    def test_tables_and_row_counts(self, figure1):
+        assert set(figure1.names()) == {"Cust", "Calls", "Plans"}
+        assert len(figure1.get("Cust")) == 7
+        assert len(figure1.get("Calls")) == 14
+        assert len(figure1.get("Plans")) == 14
+
+    def test_every_plan_variable_is_known(self):
+        assert set(PLAN_VARIABLES) >= set(BASE_PLAN_PRICES)
+
+    def test_plain_query_result(self, figure1):
+        relation = execute(revenue_query(), figure1)
+        totals = {row["Zip"]: row["revenue"] for row in relation}
+        assert totals["10001"] == pytest.approx(905.25)
+        assert totals["10002"] == pytest.approx(437.45)
+
+
+class TestExample2Provenance:
+    def test_shape(self, example2):
+        assert len(example2) == 2
+        assert example2.size() == 14
+        assert example2.num_variables() == 9  # 7 plan variables + m1 + m3
+
+    def test_example2_provenance_helper_matches_fixture(self, example2):
+        assert example2_provenance().almost_equal(example2)
+
+    def test_identity_valuation_reproduces_query_result(self, example2, figure1):
+        valuation = {name: 1.0 for name in example2.variables()}
+        results = example2.evaluate(valuation)
+        relation = execute(revenue_query(), figure1)
+        totals = {(row["Zip"],): row["revenue"] for row in relation}
+        for key, value in results.items():
+            assert value == pytest.approx(totals[key])
+
+
+class TestGeneratedCatalog:
+    def test_row_counts(self):
+        config = TelephonyConfig(num_customers=100, num_zips=4, months=(1, 2))
+        catalog = generate_telephony_catalog(config)
+        assert len(catalog.get("Cust")) == 100
+        assert len(catalog.get("Calls")) == 200
+        assert len(catalog.get("Plans")) == len(config.plans) * 2
+
+    def test_every_zip_plan_combination_is_covered(self):
+        config = TelephonyConfig(num_customers=100, num_zips=3, months=(1,))
+        catalog = generate_telephony_catalog(config)
+        combos = {
+            (row["Zip"], row["Plan"]) for row in catalog.get("Cust")
+        }
+        assert len(combos) == 3 * len(config.plans)
+
+    def test_generation_is_deterministic(self):
+        config = TelephonyConfig(num_customers=50, num_zips=2, months=(1, 2))
+        first = generate_telephony_catalog(config)
+        second = generate_telephony_catalog(config)
+        assert first.get("Calls").rows() == second.get("Calls").rows()
+
+    def test_provenance_from_catalog_has_expected_shape(self):
+        config = TelephonyConfig(num_customers=4 * len(PLAN_VARIABLES), num_zips=4, months=(1, 2))
+        catalog = generate_telephony_catalog(config)
+        provenance = build_revenue_provenance(catalog)
+        assert len(provenance) == 4
+        assert provenance.size() == config.expected_provenance_size()
+
+
+class TestAnalyticGenerator:
+    def test_exact_size(self, small_telephony_config, small_telephony_provenance):
+        assert (
+            small_telephony_provenance.size()
+            == small_telephony_config.expected_provenance_size()
+        )
+        assert len(small_telephony_provenance) == small_telephony_config.num_zips
+
+    def test_variables_are_plans_and_months(self, small_telephony_provenance, small_telephony_config):
+        variables = small_telephony_provenance.variables()
+        for plan_variable in PLAN_VARIABLES.values():
+            assert plan_variable in variables
+        for month in small_telephony_config.months:
+            assert f"m{month}" in variables
+
+    def test_deterministic(self, small_telephony_config):
+        first = generate_revenue_provenance(small_telephony_config)
+        second = generate_revenue_provenance(small_telephony_config)
+        assert first.almost_equal(second)
+
+    def test_coefficients_are_positive(self, small_telephony_provenance):
+        for _key, polynomial in small_telephony_provenance.items():
+            for _monomial, coefficient in polynomial.terms():
+                assert coefficient > 0.0
+
+    def test_section4_default_config_size(self):
+        config = TelephonyConfig()
+        assert config.expected_provenance_size() == 139_260
+
+    def test_all_monomials_compatible_with_plans_tree(self, small_telephony_provenance):
+        """Every monomial has exactly one plan variable (the DP precondition)."""
+        from repro.core.optimizer import build_load_model
+
+        model = build_load_model(small_telephony_provenance, plans_tree())
+        assert model.base_monomials == 0
+
+    def test_fewer_customers_than_cells_still_works(self):
+        config = TelephonyConfig(num_customers=10, num_zips=5, months=(1,))
+        provenance = generate_revenue_provenance(config)
+        # Not all cells can be covered with 10 customers.
+        assert 0 < provenance.size() <= config.expected_provenance_size()

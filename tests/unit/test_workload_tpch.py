@@ -1,0 +1,132 @@
+"""Unit tests for the TPC-H-style generator and its provenance queries."""
+
+import pytest
+
+from repro.core.multi_tree import optimize_forest
+from repro.workloads.abstraction_trees import (
+    market_segment_tree,
+    nation_variable,
+    region_nation_tree,
+    segment_variable,
+)
+from repro.workloads.tpch import (
+    MARKET_SEGMENTS,
+    NATIONS_BY_REGION,
+    TpchConfig,
+    generate_tpch_catalog,
+)
+from repro.workloads.tpch_queries import (
+    all_tpch_queries,
+    q1_pricing_summary,
+    q3_segment_revenue,
+    q5_local_supplier_volume,
+    q6_forecast_revenue,
+    q10_returned_items,
+)
+
+
+class TestGenerator:
+    def test_reference_tables(self, tiny_tpch_catalog):
+        assert len(tiny_tpch_catalog.get("REGION")) == 5
+        assert len(tiny_tpch_catalog.get("NATION")) == 25
+
+    def test_row_counts_follow_config(self, tiny_tpch_catalog):
+        config = TpchConfig(scale=0.0003, orders_per_customer=4)
+        assert len(tiny_tpch_catalog.get("CUSTOMER")) == config.num_customers
+        assert len(tiny_tpch_catalog.get("ORDERS")) == config.num_orders
+        assert len(tiny_tpch_catalog.get("SUPPLIER")) == config.num_suppliers
+        assert len(tiny_tpch_catalog.get("LINEITEM")) >= config.num_orders
+
+    def test_foreign_keys_resolve(self, tiny_tpch_catalog):
+        nation_keys = set(tiny_tpch_catalog.get("NATION").column_values("N_NATIONKEY"))
+        customer_nations = set(
+            tiny_tpch_catalog.get("CUSTOMER").column_values("C_NATIONKEY")
+        )
+        assert customer_nations <= nation_keys
+
+        order_keys = set(tiny_tpch_catalog.get("ORDERS").column_values("O_ORDERKEY"))
+        lineitem_orders = set(
+            tiny_tpch_catalog.get("LINEITEM").column_values("L_ORDERKEY")
+        )
+        assert lineitem_orders <= order_keys
+
+    def test_dates_and_months_consistent(self, tiny_tpch_catalog):
+        for row in tiny_tpch_catalog.get("LINEITEM"):
+            month_from_date = int(str(row["L_SHIPDATE"]).split("-")[1])
+            assert month_from_date == row["L_SHIPMONTH"]
+
+    def test_deterministic(self):
+        config = TpchConfig(scale=0.0002)
+        first = generate_tpch_catalog(config)
+        second = generate_tpch_catalog(config)
+        assert first.get("LINEITEM").rows() == second.get("LINEITEM").rows()
+
+    def test_segments_within_official_list(self, tiny_tpch_catalog):
+        segments = set(tiny_tpch_catalog.get("CUSTOMER").column_values("C_MKTSEGMENT"))
+        assert segments <= set(MARKET_SEGMENTS)
+
+
+class TestTrees:
+    def test_region_nation_tree_structure(self):
+        tree = region_nation_tree(NATIONS_BY_REGION)
+        assert len(tree.leaves()) == 25
+        assert set(tree.children("World")) == {
+            region.replace(" ", "_") for region in NATIONS_BY_REGION
+        }
+        assert nation_variable("UNITED STATES") in tree.leaves()
+        assert set(tree.leaves_under("MIDDLE_EAST")) == {
+            nation_variable(n) for n in NATIONS_BY_REGION["MIDDLE EAST"]
+        }
+
+    def test_market_segment_tree_structure(self):
+        tree = market_segment_tree(MARKET_SEGMENTS)
+        assert len(tree.leaves()) == len(MARKET_SEGMENTS)
+        assert segment_variable("AUTOMOBILE") in tree.leaves_under("Consumer")
+        assert segment_variable("MACHINERY") in tree.leaves_under("BusinessSegments")
+
+
+class TestQueries:
+    def test_q1_shape(self, tiny_tpch_catalog):
+        item = q1_pricing_summary(tiny_tpch_catalog)
+        assert item.name == "Q1"
+        assert len(item.provenance) >= 1
+        variables = item.provenance.variables()
+        assert variables <= {f"m{month}" for month in range(1, 13)}
+
+    def test_q3_uses_two_trees(self, tiny_tpch_catalog):
+        item = q3_segment_revenue(tiny_tpch_catalog)
+        variables = item.provenance.variables()
+        assert any(name.startswith("seg_") for name in variables)
+        assert any(name.startswith("m") and not name.startswith("seg") for name in variables)
+        assert len(item.trees.trees()) == 2
+
+    def test_q5_nation_variables(self, tiny_tpch_catalog):
+        item = q5_local_supplier_volume(tiny_tpch_catalog)
+        variables = item.provenance.variables()
+        assert all(name.startswith("n_") for name in variables)
+        # One polynomial per order year; each has at most 25 monomials.
+        for _key, polynomial in item.provenance.items():
+            assert polynomial.num_monomials() <= 25
+
+    def test_q6_single_polynomial_over_months(self, tiny_tpch_catalog):
+        item = q6_forecast_revenue(tiny_tpch_catalog)
+        assert len(item.provenance) == 1
+        assert item.provenance.size() <= 12
+
+    def test_q10_groups_by_nation(self, tiny_tpch_catalog):
+        item = q10_returned_items(tiny_tpch_catalog)
+        assert len(item.provenance) <= 25
+        assert item.provenance.variables() <= {f"m{m}" for m in range(1, 13)}
+
+    def test_all_queries_compress_under_their_trees(self, tiny_tpch_catalog):
+        for item in all_tpch_queries(tiny_tpch_catalog):
+            full = item.provenance.size()
+            if full < 2:
+                continue
+            bound = max(1, full // 2)
+            result = optimize_forest(
+                item.provenance, item.trees, bound, allow_infeasible=True
+            )
+            assert result.achieved_size <= full
+            if result.feasible:
+                assert result.achieved_size <= bound
