@@ -9,6 +9,8 @@ companion).  The package is organised as follows:
 * :mod:`repro.core` — abstraction trees and the compression algorithms (the
   paper's contribution);
 * :mod:`repro.engine` — the COBRA session: compress, assign, compare;
+* :mod:`repro.batch` — the batch what-if service: whole scenario sweeps
+  evaluated as vectorised matrix operations over compiled provenance;
 * :mod:`repro.workloads` — the telephony running example and a TPC-H-style
   workload, plus random-instance generators;
 * :mod:`repro.cli` — a command-line front-end mirroring the demo's GUI flow.
@@ -54,6 +56,12 @@ from repro.core import (
     root_cut,
 )
 from repro.engine import CobraSession, Scenario, AssignmentReport
+from repro.batch import (
+    BatchEvaluator,
+    BatchReport,
+    ScenarioBatch,
+    ScenarioOutcome,
+)
 from repro.db import Catalog, Query, col, const, execute, parse_sql, to_provenance_set
 
 __version__ = "1.0.0"
@@ -95,6 +103,10 @@ __all__ = [
     "CobraSession",
     "Scenario",
     "AssignmentReport",
+    "BatchEvaluator",
+    "BatchReport",
+    "ScenarioBatch",
+    "ScenarioOutcome",
     "Catalog",
     "Query",
     "col",

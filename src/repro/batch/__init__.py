@@ -1,0 +1,33 @@
+"""Batch what-if evaluation: many scenarios, one vectorised pass.
+
+The interactive :class:`~repro.engine.session.CobraSession` answers one
+hypothetical at a time.  This subpackage is the service-oriented counterpart
+built for heavy multi-scenario traffic:
+
+* :mod:`repro.batch.planner` — :class:`ScenarioBatch` lowers a list of
+  :class:`~repro.engine.scenario.Scenario` objects into one
+  ``scenarios × variables`` valuation matrix over a shared variable index;
+* :mod:`repro.batch.evaluator` — :class:`BatchEvaluator` compiles provenance
+  sets once (LRU-cached by content fingerprint) and evaluates whole sweeps
+  with chunked, optionally multi-threaded matrix kernels;
+* :mod:`repro.batch.report` — :class:`BatchReport` aggregates per-scenario /
+  per-group deltas against the baseline and the abstraction-induced error of
+  the compressed provenance across the sweep.
+
+The convenient entry point is
+:meth:`repro.engine.session.CobraSession.evaluate_many`, which routes a
+scenario sweep through a session's provenance (and its compressed form, if
+one was computed).
+"""
+
+from repro.batch.planner import ScenarioBatch
+from repro.batch.evaluator import BatchEvaluator, lower_meta_matrix
+from repro.batch.report import BatchReport, ScenarioOutcome
+
+__all__ = [
+    "ScenarioBatch",
+    "BatchEvaluator",
+    "lower_meta_matrix",
+    "BatchReport",
+    "ScenarioOutcome",
+]

@@ -1,0 +1,218 @@
+"""The batch what-if evaluation service.
+
+:class:`BatchEvaluator` ties the batch subsystem together: it compiles
+provenance sets once (an LRU cache keyed by
+:meth:`~repro.provenance.polynomial.ProvenanceSet.fingerprint`), lowers
+scenario lists into valuation matrices via
+:class:`~repro.batch.planner.ScenarioBatch`, and evaluates the whole sweep
+with vectorised matrix kernels — chunked to bound memory and optionally
+fanned out over a thread pool for mega-batches (the kernels are numpy-bound,
+so threads parallelise them without pickling anything).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compression import Abstraction
+from repro.engine.scenario import Scenario
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.valuation import CompiledProvenanceSet, Valuation
+from repro.batch.planner import ScenarioBatch
+from repro.batch.report import BatchReport
+
+#: Target number of (monomial × scenario) cells per evaluation chunk; keeps
+#: the per-chunk gather/product temporaries comfortably inside cache/RAM.
+_TARGET_CELLS_PER_CHUNK = 4_000_000
+
+
+def lower_meta_matrix(
+    abstraction: Abstraction,
+    batch: ScenarioBatch,
+    matrix: np.ndarray,
+    meta_variables: Sequence[str],
+) -> np.ndarray:
+    """Lower a scenarios × originals matrix to the compressed variable space.
+
+    Column *j* of the result is the value of ``meta_variables[j]`` under each
+    scenario, derived exactly as the interactive engine's
+    ``default_meta_valuation(reducer="mean", on_missing="skip")``: the mean of
+    the scenario values of the meta-variable's members that occur in the
+    universe, the scenario value itself for originals the abstraction leaves
+    untouched, and 1.0 otherwise.
+    """
+    grouped = abstraction.grouped_variables()
+    mapped = set(abstraction.mapping)
+    universe = set(batch.variables)
+    result = np.ones((matrix.shape[0], len(meta_variables)), dtype=np.float64)
+    for j, variable in enumerate(meta_variables):
+        members = grouped.get(variable)
+        if members is not None:
+            present = [m for m in members if m in universe]
+            if present:
+                result[:, j] = matrix[:, batch.columns_for(present)].mean(axis=1)
+        elif variable in universe and variable not in mapped:
+            result[:, j] = matrix[:, batch.columns_for([variable])[0]]
+    return result
+
+
+class BatchEvaluator:
+    """Evaluates many scenarios against (possibly many) provenance sets.
+
+    Parameters
+    ----------
+    cache_size:
+        How many compiled provenance sets to keep, LRU-evicted.  Compilation
+        is the expensive step (one pass over every monomial), so a service
+        answering what-if traffic over a handful of live provenance sets pays
+        it once per set, not once per request.
+    max_workers:
+        When set (> 1), mega-batches are split into chunks evaluated on a
+        thread pool; the numpy kernels release the GIL for the bulk of the
+        work.  ``None`` evaluates chunks serially on the calling thread.
+    chunk_size:
+        Rows per evaluation chunk.  Defaults to a size keeping roughly
+        ``4e6`` monomial × scenario cells in flight per chunk.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 8,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None)")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None)")
+        self._cache_size = cache_size
+        self._max_workers = max_workers
+        self._chunk_size = chunk_size
+        self._compiled: "OrderedDict[str, CompiledProvenanceSet]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- compiled-provenance cache -------------------------------------------
+
+    def compile(self, provenance: ProvenanceSet) -> CompiledProvenanceSet:
+        """The compiled form of ``provenance``, cached by content fingerprint."""
+        fingerprint = provenance.fingerprint()
+        cached = self._compiled.get(fingerprint)
+        if cached is not None:
+            self._compiled.move_to_end(fingerprint)
+            self._hits += 1
+            return cached
+        self._misses += 1
+        compiled = CompiledProvenanceSet(provenance)
+        self._compiled[fingerprint] = compiled
+        while len(self._compiled) > self._cache_size:
+            self._compiled.popitem(last=False)
+        return compiled
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the compiled-provenance cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._compiled),
+            "capacity": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached compilation (counters are kept)."""
+        self._compiled.clear()
+
+    # -- matrix evaluation ----------------------------------------------------
+
+    def _resolve_chunk_size(self, compiled: CompiledProvenanceSet, rows: int) -> int:
+        if self._chunk_size is not None:
+            return self._chunk_size
+        per_row = max(1, compiled.size())
+        return max(1, min(rows, _TARGET_CELLS_PER_CHUNK // per_row))
+
+    def evaluate_matrix(
+        self, compiled: CompiledProvenanceSet, matrix: np.ndarray
+    ) -> np.ndarray:
+        """Chunked (and optionally threaded) ``scenarios × groups`` evaluation."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        rows = matrix.shape[0]
+        chunk = self._resolve_chunk_size(compiled, rows)
+        if rows <= chunk:
+            return compiled.evaluate_matrix(matrix)
+        pieces = [matrix[start : start + chunk] for start in range(0, rows, chunk)]
+        if self._max_workers is not None and self._max_workers > 1 and len(pieces) > 1:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                results = list(pool.map(compiled.evaluate_matrix, pieces))
+        else:
+            results = [compiled.evaluate_matrix(piece) for piece in pieces]
+        return np.concatenate(results, axis=0)
+
+    # -- the full service entry point -----------------------------------------
+
+    def evaluate(
+        self,
+        provenance: ProvenanceSet,
+        scenarios: Sequence[Scenario],
+        base_valuation: Optional[Mapping[str, float]] = None,
+        compressed: Optional[ProvenanceSet] = None,
+        abstraction: Optional[Abstraction] = None,
+    ) -> BatchReport:
+        """Evaluate ``scenarios`` against ``provenance`` in one vectorised pass.
+
+        When ``compressed`` and ``abstraction`` are given, the sweep is also
+        evaluated against the compressed provenance (per-scenario
+        meta-variable values derived as member means), so the report carries
+        the abstraction-induced error across the whole sweep.
+        """
+        if (compressed is None) != (abstraction is None):
+            raise ValueError(
+                "compressed and abstraction must be provided together"
+            )
+        base = Valuation(dict(base_valuation)) if base_valuation else Valuation()
+        universe = set(provenance.variables()) | set(base)
+        batch = ScenarioBatch(scenarios, universe)
+        matrix = batch.valuation_matrix(base)
+
+        compiled_full = self.compile(provenance)
+        full_columns = batch.columns_for(compiled_full.variables)
+        base_row = np.array(
+            [float(base.get(name, 1.0)) for name in compiled_full.variables],
+            dtype=np.float64,
+        )
+        baseline = compiled_full.evaluate_matrix(base_row[np.newaxis, :])[0]
+        full_results = self.evaluate_matrix(compiled_full, matrix[:, full_columns])
+
+        compressed_results = None
+        compressed_size = None
+        if compressed is not None and abstraction is not None:
+            compiled_compressed = self.compile(compressed)
+            meta_matrix = lower_meta_matrix(
+                abstraction, batch, matrix, compiled_compressed.variables
+            )
+            meta_rows = self.evaluate_matrix(compiled_compressed, meta_matrix)
+            # Align the compressed columns with the full provenance's keys;
+            # groups absent from the compressed set evaluate to 0.0, as in
+            # the interactive report.
+            key_column = {key: i for i, key in enumerate(compiled_compressed.keys)}
+            compressed_results = np.zeros_like(full_results)
+            for j, key in enumerate(compiled_full.keys):
+                column = key_column.get(key)
+                if column is not None:
+                    compressed_results[:, j] = meta_rows[:, column]
+            compressed_size = compressed.size()
+
+        return BatchReport(
+            scenario_names=batch.names,
+            keys=compiled_full.keys,
+            baseline=baseline,
+            full_results=full_results,
+            compressed_results=compressed_results,
+            full_size=provenance.size(),
+            compressed_size=compressed_size,
+        )

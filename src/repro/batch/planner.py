@@ -1,0 +1,110 @@
+"""Lowering scenario lists into valuation matrices.
+
+The interactive engine answers one hypothetical at a time by rewriting a
+:class:`~repro.provenance.valuation.Valuation` per scenario.  For batch
+what-if traffic that per-scenario dict churn dominates, so the planner
+lowers a list of :class:`~repro.engine.scenario.Scenario` objects into one
+``scenarios × variables`` numpy matrix: row *s* is the value vector the
+*s*-th scenario induces over a shared, sorted variable universe.  The matrix
+feeds straight into
+:meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.scenario import Scenario
+from repro.provenance.valuation import Valuation
+
+
+class ScenarioBatch:
+    """A list of scenarios lowered over one shared variable index.
+
+    Parameters
+    ----------
+    scenarios:
+        The hypotheticals to evaluate, in row order.
+    variables:
+        The variable universe the scenarios' selectors are resolved against
+        (typically the union of the provenance's variables and the base
+        valuation's).  Sorted into a canonical column order.
+    """
+
+    __slots__ = ("_scenarios", "_variables", "_index", "_resolved")
+
+    def __init__(
+        self, scenarios: Sequence[Scenario], variables: Iterable[str]
+    ) -> None:
+        self._scenarios: Tuple[Scenario, ...] = tuple(scenarios)
+        self._variables: Tuple[str, ...] = tuple(sorted(set(variables)))
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._variables)
+        }
+        # Selectors are resolved once per scenario against the shared
+        # universe; applying the plan is pure array arithmetic from here on.
+        self._resolved = tuple(
+            tuple(
+                (kind, np.array([self._index[n] for n in selected], dtype=np.intp), amount)
+                for kind, selected, amount in scenario.resolved_operations(self._variables)
+            )
+            for scenario in self._scenarios
+        )
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        """The scenarios, in row order."""
+        return self._scenarios
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The scenario names, in row order."""
+        return tuple(scenario.name for scenario in self._scenarios)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The shared variable universe, in column order (sorted)."""
+        return self._variables
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    # -- lowering -----------------------------------------------------------
+
+    def valuation_matrix(
+        self, base: Optional[Mapping[str, float]] = None
+    ) -> np.ndarray:
+        """The ``scenarios × variables`` matrix of hypothetical valuations.
+
+        Row *s* equals ``scenarios[s].apply(base, variables)`` restricted to
+        the universe, with variables missing from ``base`` defaulting to 1.0
+        (the identity valuation, as everywhere else in the engine).
+        """
+        if base is None:
+            base = Valuation.uniform(self._variables, 1.0)
+        base_row = np.array(
+            [float(base.get(name, 1.0)) for name in self._variables],
+            dtype=np.float64,
+        )
+        matrix = np.tile(base_row, (len(self._scenarios), 1))
+        for row, operations in enumerate(self._resolved):
+            for kind, columns, amount in operations:
+                if columns.size == 0:
+                    continue
+                if kind == "scale":
+                    matrix[row, columns] *= amount
+                else:
+                    matrix[row, columns] = amount
+        return matrix
+
+    def columns_for(self, names: Sequence[str]) -> np.ndarray:
+        """Column indices of ``names`` within the universe (for submatrices).
+
+        Raises ``KeyError`` for names outside the universe — callers should
+        build the batch over the union of every variable set they need.
+        """
+        return np.array([self._index[name] for name in names], dtype=np.intp)

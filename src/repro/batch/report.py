@@ -1,0 +1,200 @@
+"""Aggregated results of a batch what-if evaluation.
+
+A :class:`BatchReport` is the sweep-level counterpart of
+:class:`~repro.engine.report.AssignmentReport`: instead of one scenario's
+per-group comparison it holds the full ``scenarios × groups`` result
+matrices — baseline, full provenance, and (optionally) compressed
+provenance — plus the derived per-scenario deltas and abstraction-induced
+errors, so an analyst can rank hundreds of hypotheticals at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's row of a :class:`BatchReport`."""
+
+    name: str
+    results: Dict[Tuple, float]
+    deltas: Dict[Tuple, float]
+    total_delta: float
+    max_absolute_error: float
+    mean_absolute_error: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly rendering (keys joined with ``/``)."""
+        return {
+            "name": self.name,
+            "results": {"/".join(map(str, k)): v for k, v in self.results.items()},
+            "total_delta": self.total_delta,
+            "max_absolute_error": self.max_absolute_error,
+            "mean_absolute_error": self.mean_absolute_error,
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """The outcome of evaluating a scenario batch against a provenance set.
+
+    Attributes
+    ----------
+    scenario_names:
+        One name per row of the result matrices.
+    keys:
+        One result key per column.
+    baseline:
+        The query results under the base valuation, shape ``(groups,)``.
+    full_results:
+        Per-scenario results from the full provenance,
+        shape ``(scenarios, groups)``.
+    compressed_results:
+        Per-scenario results from the compressed provenance (meta-variable
+        defaults derived per scenario), or ``None`` when no abstraction was
+        available.  Same shape as ``full_results``.
+    full_size / compressed_size:
+        Provenance sizes in monomials (``compressed_size`` is ``None``
+        without an abstraction).
+    """
+
+    scenario_names: Tuple[str, ...]
+    keys: Tuple[Tuple, ...]
+    baseline: np.ndarray
+    full_results: np.ndarray
+    compressed_results: Optional[np.ndarray] = None
+    full_size: int = 0
+    compressed_size: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.scenario_names)
+
+    # -- derived matrices ---------------------------------------------------
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """Per-scenario, per-group change from the baseline (full provenance)."""
+        return self.full_results - self.baseline[np.newaxis, :]
+
+    @property
+    def total_deltas(self) -> np.ndarray:
+        """Per-scenario total change, summed over the result groups."""
+        return self.deltas.sum(axis=1)
+
+    @property
+    def absolute_errors(self) -> Optional[np.ndarray]:
+        """``|full - compressed|`` per scenario and group, if compressed ran."""
+        if self.compressed_results is None:
+            return None
+        return np.abs(self.full_results - self.compressed_results)
+
+    @property
+    def max_absolute_error(self) -> float:
+        """Largest abstraction-induced deviation across the whole sweep."""
+        errors = self.absolute_errors
+        if errors is None or errors.size == 0:
+            return 0.0
+        return float(errors.max())
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Mean abstraction-induced deviation across the whole sweep."""
+        errors = self.absolute_errors
+        if errors is None or errors.size == 0:
+            return 0.0
+        return float(errors.mean())
+
+    @property
+    def max_relative_error(self) -> float:
+        """Largest relative deviation (0 where the full result is ~0)."""
+        errors = self.absolute_errors
+        if errors is None or errors.size == 0:
+            return 0.0
+        scale = np.abs(self.full_results)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            relative = np.where(scale < 1e-12, 0.0, errors / scale)
+        return float(relative.max())
+
+    # -- per-scenario views -------------------------------------------------
+
+    def outcome(self, index: int) -> ScenarioOutcome:
+        """The named per-group view of the ``index``-th scenario."""
+        row = self.full_results[index]
+        delta_row = self.deltas[index]
+        errors = self.absolute_errors
+        error_row = errors[index] if errors is not None else np.zeros_like(row)
+        return ScenarioOutcome(
+            name=self.scenario_names[index],
+            results={key: float(row[i]) for i, key in enumerate(self.keys)},
+            deltas={key: float(delta_row[i]) for i, key in enumerate(self.keys)},
+            total_delta=float(delta_row.sum()),
+            max_absolute_error=float(error_row.max()) if error_row.size else 0.0,
+            mean_absolute_error=float(error_row.mean()) if error_row.size else 0.0,
+        )
+
+    def outcomes(self) -> Tuple[ScenarioOutcome, ...]:
+        """All per-scenario views, in row order."""
+        return tuple(self.outcome(i) for i in range(len(self)))
+
+    def ranked_by_total_delta(self, descending: bool = True) -> Tuple[int, ...]:
+        """Scenario indices ordered by total change from the baseline."""
+        order = np.argsort(self.total_deltas, kind="stable")
+        if descending:
+            order = order[::-1]
+        return tuple(int(i) for i in order)
+
+    # -- rendering ----------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary of the headline numbers (for benchmarks/JSON)."""
+        return {
+            "scenarios": len(self),
+            "groups": len(self.keys),
+            "full_size": self.full_size,
+            "compressed_size": self.compressed_size,
+            "max_absolute_error": self.max_absolute_error,
+            "mean_absolute_error": self.mean_absolute_error,
+            "max_relative_error": self.max_relative_error,
+        }
+
+    def render_text(self, max_rows: int = 10) -> str:
+        """A human-readable sweep table (scenarios ranked by |total delta|)."""
+        lines: List[str] = []
+        lines.append(
+            f"{len(self)} scenarios x {len(self.keys)} result groups "
+            f"(full provenance: {self.full_size} monomials)"
+        )
+        if self.compressed_results is not None:
+            lines.append(
+                f"compressed provenance: {self.compressed_size} monomials, "
+                f"abstraction error mean {self.mean_absolute_error:.4g} / "
+                f"max {self.max_absolute_error:.4g} "
+                f"(max relative {self.max_relative_error:.2%})"
+            )
+        lines.append("")
+        header = f"{'scenario':<32} {'total delta':>14}"
+        if self.compressed_results is not None:
+            header += f" {'max abs err':>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        total_deltas = self.total_deltas
+        errors = self.absolute_errors
+        ranked = sorted(
+            range(len(self)), key=lambda i: abs(float(total_deltas[i])), reverse=True
+        )
+        for index in ranked[:max_rows]:
+            line = (
+                f"{self.scenario_names[index]:<32} "
+                f"{float(total_deltas[index]):>14.2f}"
+            )
+            if errors is not None:
+                row_max = float(errors[index].max()) if errors[index].size else 0.0
+                line += f" {row_max:>12.4f}"
+            lines.append(line)
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self) - max_rows} more scenarios)")
+        return "\n".join(lines)

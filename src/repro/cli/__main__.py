@@ -1,0 +1,5 @@
+"""Allow ``python -m repro.cli <subcommand>`` as an entry point."""
+
+from repro.cli.main import main
+
+raise SystemExit(main())

@@ -9,6 +9,10 @@ back-end workflow (Figure 4) from the terminal:
 * ``cobra telephony`` — the Section 4 scale experiment: generate the large
   telephony provenance, compress under one or more bounds and report sizes
   and assignment speedups;
+* ``cobra batch`` — the batch what-if service: evaluate a whole sweep of
+  scenarios against the telephony provenance in one vectorised pass,
+  optionally comparing against the compressed provenance and the sequential
+  per-scenario path;
 * ``cobra tpch`` — run the reproduced TPC-H queries and compress each one;
 * ``cobra compress`` — the generic entry point: read provenance (JSON) and a
   tree (JSON) from disk, compress under a bound and write the result.
@@ -38,6 +42,7 @@ from repro.workloads.telephony import (
     TelephonyConfig,
     example2_provenance,
     generate_revenue_provenance,
+    telephony_scenario_sweep,
 )
 from repro.workloads.tpch import TpchConfig, generate_tpch_catalog
 from repro.workloads.tpch_queries import all_tpch_queries
@@ -157,6 +162,71 @@ def run_tpch(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_batch(args: argparse.Namespace) -> int:
+    """Vectorised multi-scenario what-if evaluation over the telephony workload."""
+    from repro.batch import BatchEvaluator
+    from repro.utils.timing import Timer
+
+    config = TelephonyConfig(
+        num_customers=args.customers,
+        num_zips=args.zips,
+        months=tuple(range(1, args.months + 1)),
+    )
+    _print(
+        f"Generating telephony provenance: {config.num_zips} zips x "
+        f"{len(config.plans)} plans x {len(config.months)} months..."
+    )
+    provenance = generate_revenue_provenance(config)
+    scenarios = telephony_scenario_sweep(args.scenarios, months=config.months)
+    _print(
+        f"Provenance: {provenance.size()} monomials, "
+        f"{provenance.num_variables()} variables; sweep: {len(scenarios)} scenarios"
+    )
+
+    session = CobraSession(provenance)
+    if args.bound is not None:
+        session.set_abstraction_trees(plans_tree())
+        session.set_bound(args.bound)
+        session.compress()
+        _print(
+            f"Compressed under bound {args.bound}: "
+            f"{session.compressed_provenance.size()} monomials"
+        )
+    _print()
+
+    evaluator = BatchEvaluator(max_workers=args.workers)
+    with Timer() as timer:
+        report = session.evaluate_many(scenarios, evaluator=evaluator)
+    per_scenario = timer.elapsed / max(1, len(scenarios))
+    _print(report.render_text(max_rows=args.top))
+    _print()
+    _print(
+        f"batch evaluation: {timer.elapsed * 1e3:.1f} ms total "
+        f"({per_scenario * 1e6:.0f} us/scenario)"
+    )
+
+    if args.compare_sequential:
+        base = session.base_valuation
+        variables = provenance.variables()
+        with Timer() as sequential_timer:
+            for scenario in scenarios:
+                valuation = scenario.apply(base, variables)
+                provenance.evaluate(valuation)
+        ratio = sequential_timer.elapsed / max(timer.elapsed, 1e-12)
+        _print(
+            f"sequential Scenario.apply + evaluate: "
+            f"{sequential_timer.elapsed * 1e3:.1f} ms total — "
+            f"batch is {ratio:.1f}x faster"
+        )
+
+    if args.json:
+        summary = report.summary()
+        summary["batch_seconds"] = timer.elapsed
+        Path(args.json).write_text(json.dumps(summary, indent=2))
+        _print(f"summary written to {args.json}")
+    return 0
+
+
 def run_stats(args: argparse.Namespace) -> int:
     """Describe a provenance JSON file and (optionally) its size profile."""
     from repro.core.optimizer import compute_size_profile
@@ -215,6 +285,13 @@ def run_compress(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``cobra`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -242,6 +319,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="monomial bounds to try (paper: 94600 and 38600)",
     )
     telephony.set_defaults(func=run_telephony)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="evaluate a whole what-if scenario sweep in one vectorised batch",
+    )
+    batch.add_argument("--scenarios", type=int, default=100, help="sweep size")
+    batch.add_argument("--customers", type=_positive_int, default=5_000)
+    batch.add_argument("--zips", type=_positive_int, default=100)
+    batch.add_argument("--months", type=_positive_int, default=12)
+    batch.add_argument(
+        "--bound", type=int, default=None,
+        help="also compress under this bound and report abstraction error",
+    )
+    batch.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="thread-pool size for chunked mega-batches (default: serial)",
+    )
+    batch.add_argument("--top", type=int, default=10, help="rows to print")
+    batch.add_argument(
+        "--compare-sequential", action="store_true",
+        help="also time the sequential per-scenario path and print the speedup",
+    )
+    batch.add_argument("--json", help="where to write a JSON summary")
+    batch.set_defaults(func=run_batch)
 
     tpch = subparsers.add_parser("tpch", help="run the TPC-H workload")
     tpch.add_argument("--scale", type=float, default=0.001)

@@ -17,14 +17,27 @@ from repro.provenance.valuation import Valuation
 
 VariableSelector = Union[str, Sequence[str], Callable[[str], bool]]
 
+#: One resolved scenario step: ``(kind, selected variable names, amount)``.
+ResolvedOperation = Tuple[str, Tuple[str, ...], float]
 
-def _select(selector: VariableSelector, variables: Iterable[str]) -> Tuple[str, ...]:
-    """Resolve a selector against the available variable names."""
-    names = list(variables)
+
+def _select(
+    selector: VariableSelector,
+    names: Sequence[str],
+    name_set: Optional[frozenset] = None,
+) -> Tuple[str, ...]:
+    """Resolve a selector against an already-materialised name universe.
+
+    ``names`` must be a sequence (resolved once per scenario application, not
+    per operation); ``name_set`` is an optional matching set for O(1)
+    membership tests, built on demand otherwise.
+    """
     if callable(selector):
         return tuple(name for name in names if selector(name))
+    if name_set is None:
+        name_set = frozenset(names)
     if isinstance(selector, str):
-        return (selector,) if selector in names else ()
+        return (selector,) if selector in name_set else ()
     wanted = set(selector)
     return tuple(name for name in names if name in wanted)
 
@@ -36,12 +49,6 @@ class _Operation:
     kind: str  # "scale" | "set"
     selector: VariableSelector
     amount: float
-
-    def apply(self, valuation: Valuation, variables: Iterable[str]) -> Valuation:
-        selected = _select(self.selector, variables)
-        if self.kind == "scale":
-            return valuation.scaled(selected, self.amount)
-        return valuation.updated({name: self.amount for name in selected})
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,23 @@ class Scenario:
             self.operations + (_Operation("set", selector, float(value)),),
         )
 
+    def resolved_operations(
+        self, variables: Iterable[str]
+    ) -> Tuple[ResolvedOperation, ...]:
+        """Resolve every operation's selector against ``variables`` in one pass.
+
+        The name universe is materialised exactly once (a single list and a
+        single membership set shared by all operations), so applying a
+        scenario — or lowering it into a batch plan — costs one resolution per
+        operation instead of one list materialisation per operation.
+        """
+        names = variables if isinstance(variables, (list, tuple)) else list(variables)
+        name_set = frozenset(names)
+        return tuple(
+            (op.kind, _select(op.selector, names, name_set), op.amount)
+            for op in self.operations
+        )
+
     def apply(
         self, valuation: Valuation, variables: Optional[Iterable[str]] = None
     ) -> Valuation:
@@ -91,17 +115,21 @@ class Scenario:
             valuation = Valuation(valuation)
         names = list(variables) if variables is not None else list(valuation)
         result = valuation
-        for operation in self.operations:
-            result = operation.apply(result, names)
+        for kind, selected, amount in self.resolved_operations(names):
+            if kind == "scale":
+                result = result.scaled(selected, amount)
+            else:
+                result = result.updated({name: amount for name in selected})
         return result
 
     def affected_variables(self, variables: Iterable[str]) -> Tuple[str, ...]:
         """The subset of ``variables`` touched by at least one operation."""
-        names = list(variables)
         touched: List[str] = []
-        for operation in self.operations:
-            for name in _select(operation.selector, names):
-                if name not in touched:
+        seen = set()
+        for _kind, selected, _amount in self.resolved_operations(variables):
+            for name in selected:
+                if name not in seen:
+                    seen.add(name)
                     touched.append(name)
         return tuple(touched)
 

@@ -18,7 +18,7 @@ audience through:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import SessionStateError
 from repro.provenance.polynomial import ProvenanceSet
@@ -34,6 +34,10 @@ from repro.core.optimizer import OptimizationResult
 from repro.engine.report import AssignmentReport, GroupComparison, MetaVariableInfo
 from repro.engine.scenario import Scenario
 from repro.utils.timing import measure_speedup
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle: repro.batch imports engine
+    from repro.batch.evaluator import BatchEvaluator
+    from repro.batch.report import BatchReport
 
 TreeOrForest = Union[AbstractionTree, AbstractionForest]
 
@@ -78,6 +82,7 @@ class CobraSession:
         self._optimization: Optional[OptimizationResult] = None
         self._compiled_full: Optional[CompiledProvenanceSet] = None
         self._compiled_compressed: Optional[CompiledProvenanceSet] = None
+        self._batch_evaluator = None  # lazy repro.batch.BatchEvaluator
 
     # -- step 1: the input ----------------------------------------------------
 
@@ -307,6 +312,65 @@ class CobraSession:
             meta_changes=None,
             full_valuation=full_valuation,
             measure_assignment_speedup=measure_assignment_speedup,
+        )
+
+    def evaluate_many(
+        self,
+        scenarios: Sequence[Scenario],
+        include_compressed: Union[bool, str] = "auto",
+        evaluator: Optional["BatchEvaluator"] = None,
+    ) -> "BatchReport":
+        """Evaluate a whole scenario sweep in one vectorised batch pass.
+
+        Unlike :meth:`compare_scenarios` (a Python loop over
+        :meth:`assign_scenario`, fine for a handful of what-ifs), this lowers
+        all scenarios into one valuation matrix and evaluates them with the
+        :mod:`repro.batch` subsystem — hundreds of scenarios cost a handful
+        of numpy operations.
+
+        Parameters
+        ----------
+        scenarios:
+            The hypotheticals to evaluate, one report row each.
+        include_compressed:
+            ``"auto"`` (default) also evaluates the compressed provenance
+            whenever :meth:`compress` has run, so the report carries the
+            abstraction-induced error across the sweep; ``True`` requires a
+            compression (raising otherwise); ``False`` evaluates the full
+            provenance only.
+        evaluator:
+            An explicit :class:`~repro.batch.BatchEvaluator` (e.g. shared
+            across sessions, or configured with a worker pool).  By default
+            the session keeps one of its own, so repeated sweeps reuse the
+            compiled provenance.
+        """
+        from repro.batch.evaluator import BatchEvaluator
+
+        if include_compressed not in (True, False, "auto"):
+            raise SessionStateError(
+                "include_compressed must be True, False or 'auto'"
+            )
+        if evaluator is None:
+            if self._batch_evaluator is None:
+                self._batch_evaluator = BatchEvaluator()
+            evaluator = self._batch_evaluator
+
+        compressed = None
+        abstraction = None
+        if include_compressed is True and self._optimization is None:
+            raise SessionStateError(
+                "include_compressed=True requires compress() to have run"
+            )
+        if include_compressed is not False and self._optimization is not None:
+            compressed = self.compressed_provenance
+            abstraction = self.abstraction
+
+        return evaluator.evaluate(
+            self._provenance,
+            scenarios,
+            base_valuation=self._base_valuation,
+            compressed=compressed,
+            abstraction=abstraction,
         )
 
     def compare_scenarios(

@@ -330,18 +330,24 @@ class ProvenanceSet:
     each result row changes under a hypothetical valuation.
     """
 
-    __slots__ = ("_polynomials",)
+    __slots__ = ("_polynomials", "_variables_cache", "_fingerprint_cache")
 
     def __init__(
         self,
         polynomials: Optional[Mapping[Tuple, Polynomial]] = None,
     ) -> None:
         self._polynomials: Dict[Tuple, Polynomial] = {}
+        self._variables_cache: Optional[frozenset] = None
+        self._fingerprint_cache: Optional[str] = None
         if polynomials:
             for key, polynomial in polynomials.items():
                 self[key] = polynomial
 
     # -- mutation (builder-style) -------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        self._variables_cache = None
+        self._fingerprint_cache = None
 
     def __setitem__(self, key, polynomial: Polynomial) -> None:
         if not isinstance(polynomial, Polynomial):
@@ -349,12 +355,14 @@ class ProvenanceSet:
                 f"ProvenanceSet values must be Polynomial, got {type(polynomial).__name__}"
             )
         self._polynomials[_normalize_key(key)] = polynomial
+        self._invalidate_caches()
 
     def add(self, key, polynomial: Polynomial) -> None:
         """Add (or sum into) the polynomial registered under ``key``."""
         key = _normalize_key(key)
         if key in self._polynomials:
             self._polynomials[key] = self._polynomials[key] + polynomial
+            self._invalidate_caches()
         else:
             self[key] = polynomial
 
@@ -392,15 +400,50 @@ class ProvenanceSet:
         return sum(p.num_monomials() for p in self._polynomials.values())
 
     def variables(self) -> frozenset:
-        """Union of variables across all polynomials."""
-        names = set()
-        for polynomial in self._polynomials.values():
-            names.update(polynomial.variables())
-        return frozenset(names)
+        """Union of variables across all polynomials (cached until mutation).
+
+        Scenario selection and batch compilation both need the full variable
+        universe repeatedly; the union is computed once and invalidated by the
+        builder-style mutators, so callers can share one variable index
+        instead of recomputing the union per use.
+        """
+        if self._variables_cache is None:
+            names = set()
+            for polynomial in self._polynomials.values():
+                names.update(polynomial.variables())
+            self._variables_cache = frozenset(names)
+        return self._variables_cache
 
     def num_variables(self) -> int:
         """Number of distinct variables — the paper's expressiveness measure."""
         return len(self.variables())
+
+    def fingerprint(self) -> str:
+        """A content hash of the set, stable across processes (cached).
+
+        Two provenance sets with the same keys and structurally identical
+        polynomials (coefficients rounded to 9 decimals, the same tolerance
+        :meth:`Polynomial.__hash__` uses) share a fingerprint.  Batch
+        evaluation uses it to key compiled-provenance caches.
+        """
+        if self._fingerprint_cache is None:
+            import hashlib
+
+            # Keys are visited in sorted order (so insertion order does not
+            # matter) and every field is terminated with a separator byte
+            # (so field boundaries cannot be shifted between inputs).
+            digest = hashlib.sha256()
+            for key in sorted(self._polynomials, key=repr):
+                digest.update(repr(key).encode("utf-8"))
+                digest.update(b"\x1e")
+                for monomial, coefficient in self._polynomials[key].terms():
+                    digest.update(monomial.to_text().encode("utf-8"))
+                    digest.update(b"\x1f")
+                    digest.update(repr(round(coefficient, 9)).encode("utf-8"))
+                    digest.update(b"\x1f")
+                digest.update(b"\x1d")
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     # -- transformations --------------------------------------------------------
 

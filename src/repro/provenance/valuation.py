@@ -193,15 +193,78 @@ class CompiledPolynomial:
     def evaluate_many(
         self, valuations: Sequence[Mapping[str, Number]]
     ) -> np.ndarray:
-        """Evaluate under a batch of valuations, returning one result each."""
-        return np.array([self.evaluate(v) for v in valuations], dtype=np.float64)
+        """Evaluate under a batch of valuations, returning one result each.
+
+        The batch is lowered to a single ``valuations × variables`` matrix and
+        each monomial-width group is evaluated with one vectorised pass, so
+        the per-valuation Python overhead of :meth:`evaluate` is paid once for
+        the whole batch.
+        """
+        if not valuations:
+            return np.zeros(0, dtype=np.float64)
+        if not self._variables:
+            return np.full(len(valuations), self._constant, dtype=np.float64)
+        matrix = np.stack([self._values_vector(v) for v in valuations])
+        totals = np.full(len(valuations), self._constant, dtype=np.float64)
+        for coefficients, indices, exponents in self._groups:
+            gathered = matrix[:, indices]
+            if np.any(exponents != 1.0):
+                gathered = np.power(gathered, exponents)
+            totals += np.prod(gathered, axis=2) @ coefficients
+        return totals
+
+
+class _MonomialGroup:
+    """One width-group of a compiled provenance set (CSR-style flat arrays).
+
+    All monomials with the same number of factors live in one group, sorted
+    by result row so per-row totals are a contiguous segmented sum
+    (``np.add.reduceat``) instead of a scattered ``np.add.at``.
+    """
+
+    __slots__ = (
+        "coefficients",
+        "indices",
+        "exponents",
+        "segment_starts",
+        "segment_rows",
+        "has_higher_powers",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        coefficients: np.ndarray,
+        indices: np.ndarray,
+        exponents: np.ndarray,
+    ) -> None:
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        self.coefficients: np.ndarray = coefficients[order]
+        self.indices: np.ndarray = indices[order]
+        self.exponents: np.ndarray = exponents[order]
+        boundaries = np.flatnonzero(np.diff(rows)) + 1
+        self.segment_starts: np.ndarray = np.concatenate(([0], boundaries))
+        self.segment_rows: np.ndarray = rows[self.segment_starts]
+        self.has_higher_powers: bool = bool(np.any(self.exponents != 1.0))
+
+    def contributions(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-monomial contributions for a ``... × variables`` value matrix."""
+        gathered = matrix[..., self.indices]
+        if self.has_higher_powers:
+            gathered = np.power(gathered, self.exponents)
+        return np.prod(gathered, axis=-1) * self.coefficients
 
 
 class CompiledProvenanceSet:
     """A :class:`ProvenanceSet` compiled for fast repeated assignment.
 
-    All polynomials share one variable index; evaluation of the whole set is
-    a single pass over flat arrays with a per-group segmented sum.
+    All polynomials share one variable index; the monomials are lowered into
+    flat numpy arrays (coefficient vector, variable-index matrix, exponent
+    matrix) grouped by factor count and sorted by result row.  Evaluating the
+    whole set under one valuation — or a whole ``scenarios × variables``
+    matrix of valuations (:meth:`evaluate_matrix`) — is a handful of
+    vectorised operations with no per-monomial Python loop.
     """
 
     __slots__ = ("_keys", "_variables", "_index", "_constant", "_groups")
@@ -230,15 +293,16 @@ class CompiledProvenanceSet:
                     (row, coefficient, var_indices, exponents)
                 )
 
-        self._groups: List[
-            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = []
+        self._groups: List[_MonomialGroup] = []
         for width, rows in sorted(by_width.items()):
-            result_rows = np.array([r[0] for r in rows], dtype=np.intp)
-            coefficients = np.array([r[1] for r in rows], dtype=np.float64)
-            indices = np.array([r[2] for r in rows], dtype=np.intp)
-            exponents = np.array([r[3] for r in rows], dtype=np.float64)
-            self._groups.append((result_rows, coefficients, indices, exponents))
+            self._groups.append(
+                _MonomialGroup(
+                    np.array([r[0] for r in rows], dtype=np.intp),
+                    np.array([r[1] for r in rows], dtype=np.float64),
+                    np.array([r[2] for r in rows], dtype=np.intp),
+                    np.array([r[3] for r in rows], dtype=np.float64),
+                )
+            )
 
     @property
     def keys(self) -> Tuple[Tuple, ...]:
@@ -253,24 +317,25 @@ class CompiledProvenanceSet:
     def size(self) -> int:
         """Total number of monomials (the provenance size)."""
         count = int(np.count_nonzero(self._constant))
-        count += sum(len(group[1]) for group in self._groups)
+        count += sum(len(group.coefficients) for group in self._groups)
         return count
 
-    def evaluate(self, valuation: Mapping[str, Number]) -> Dict[Tuple, float]:
-        """Evaluate every polynomial, returning key → numeric result."""
+    def variable_index(self) -> Dict[str, int]:
+        """A copy of the variable → column index shared by every polynomial."""
+        return dict(self._index)
+
+    def values_vector(self, valuation: Mapping[str, Number]) -> np.ndarray:
+        """Lower a valuation to a value vector in this set's variable order."""
         missing = [name for name in self._variables if name not in valuation]
         if missing:
             raise MissingValuationError(missing)
-        values = np.array(
+        return np.array(
             [float(valuation[name]) for name in self._variables], dtype=np.float64
         )
-        totals = self._constant.copy()
-        for result_rows, coefficients, indices, exponents in self._groups:
-            gathered = values[indices]
-            if np.any(exponents != 1.0):
-                gathered = np.power(gathered, exponents)
-            contributions = coefficients * np.prod(gathered, axis=1)
-            np.add.at(totals, result_rows, contributions)
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> Dict[Tuple, float]:
+        """Evaluate every polynomial, returning key → numeric result."""
+        totals = self._evaluate_values(self.values_vector(valuation))
         return {key: float(totals[i]) for i, key in enumerate(self._keys)}
 
     def evaluate_vector(self, valuation: Mapping[str, Number]) -> np.ndarray:
@@ -278,10 +343,46 @@ class CompiledProvenanceSet:
         values = np.array(
             [float(valuation[name]) for name in self._variables], dtype=np.float64
         )
+        return self._evaluate_values(values)
+
+    def _evaluate_values(self, values: np.ndarray) -> np.ndarray:
         totals = self._constant.copy()
-        for result_rows, coefficients, indices, exponents in self._groups:
-            gathered = values[indices]
-            if np.any(exponents != 1.0):
-                gathered = np.power(gathered, exponents)
-            np.add.at(totals, result_rows, coefficients * np.prod(gathered, axis=1))
+        for group in self._groups:
+            segments = np.add.reduceat(
+                group.contributions(values), group.segment_starts
+            )
+            totals[group.segment_rows] += segments
         return totals
+
+    def evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Evaluate a whole ``scenarios × variables`` matrix of valuations.
+
+        ``matrix`` must have one column per variable of :attr:`variables`, in
+        that order (build it with :meth:`values_vector` rows or via
+        :class:`repro.batch.ScenarioBatch`).  Returns a
+        ``scenarios × groups`` array whose columns follow :attr:`keys` — the
+        whole batch is a handful of vectorised operations instead of one
+        Python-level evaluation per scenario.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._variables):
+            raise ValueError(
+                f"expected a (scenarios, {len(self._variables)}) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        totals = np.tile(self._constant, (matrix.shape[0], 1))
+        for group in self._groups:
+            segments = np.add.reduceat(
+                group.contributions(matrix), group.segment_starts, axis=1
+            )
+            totals[:, group.segment_rows] += segments
+        return totals
+
+    def evaluate_many(
+        self, valuations: Sequence[Mapping[str, Number]]
+    ) -> np.ndarray:
+        """Evaluate a batch of valuation mappings (rows follow the input order)."""
+        if not valuations:
+            return np.zeros((0, len(self._keys)), dtype=np.float64)
+        matrix = np.stack([self.values_vector(v) for v in valuations])
+        return self.evaluate_matrix(matrix)

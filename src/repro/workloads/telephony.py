@@ -263,6 +263,52 @@ def example2_provenance() -> ProvenanceSet:
     return build_revenue_provenance(figure1_catalog())
 
 
+def telephony_scenario_sweep(
+    count: int,
+    months: Sequence[int] = tuple(range(1, 13)),
+    plans: Sequence[str] = tuple(PLAN_VARIABLES.keys()),
+) -> List["Scenario"]:
+    """A deterministic sweep of ``count`` what-if scenarios over the workload.
+
+    The sweep cycles through the three shapes of Example 1 hypotheticals —
+    month-wide discounts ("all prices -20% in March"), plan-price changes
+    ("business plans +10%") and combined month+plan changes — over a grid of
+    scale factors, so a batch of any size exercises scenarios that are both
+    group-uniform (answered exactly from the compressed provenance) and finer
+    than the abstraction.
+    """
+    from repro.engine.scenario import Scenario
+
+    if count > 0 and (not months or not plans):
+        raise ValueError("a non-empty sweep needs at least one month and one plan")
+    factors = (0.75, 0.8, 0.85, 0.9, 0.95, 1.05, 1.1, 1.15, 1.2, 1.25)
+    month_names = [f"m{month}" for month in months]
+    plan_names = [PLAN_VARIABLES.get(p, "plan_" + p.lower()) for p in plans]
+    scenarios: List[Scenario] = []
+    for i in range(count):
+        factor = factors[i % len(factors)]
+        shape = i % 3
+        if shape == 0:
+            month = month_names[(i // 3) % len(month_names)]
+            scenarios.append(
+                Scenario(f"#{i} {month} x{factor:g}").scale([month], factor)
+            )
+        elif shape == 1:
+            plan = plan_names[(i // 3) % len(plan_names)]
+            scenarios.append(
+                Scenario(f"#{i} {plan} x{factor:g}").scale([plan], factor)
+            )
+        else:
+            month = month_names[(i // 3) % len(month_names)]
+            plan = plan_names[(i // 7) % len(plan_names)]
+            scenarios.append(
+                Scenario(f"#{i} {plan},{month} x{factor:g}").scale(
+                    [plan, month], factor
+                )
+            )
+    return scenarios
+
+
 # ---------------------------------------------------------------------------
 # The scalable analytic generator (Section 4 instance)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,159 @@
+"""Property tests: batch evaluation agrees with the sequential scenario path.
+
+The batch subsystem lowers scenarios into matrices and evaluates them with
+vectorised kernels; the reference semantics is the one-at-a-time path the
+interactive engine uses — ``Scenario.apply`` followed by
+``Polynomial.evaluate``.  These properties assert the two paths agree over
+random provenance, random scenario programs (including set-then-scale
+operation orderings and selectors that match nothing) and random bases.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.batch import BatchEvaluator, ScenarioBatch
+from repro.engine.scenario import Scenario
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import Valuation
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e"]
+#: Selectors deliberately include names outside the provenance universe.
+SELECTOR_POOL = VARIABLE_NAMES + ["ghost1", "ghost2"]
+
+
+@st.composite
+def polynomials(draw, max_terms=6):
+    terms = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+        exponents = draw(
+            st.dictionaries(
+                st.sampled_from(VARIABLE_NAMES),
+                st.integers(min_value=1, max_value=3),
+                max_size=3,
+            )
+        )
+        coefficient = draw(
+            st.floats(min_value=-20, max_value=20, allow_nan=False, allow_infinity=False)
+        )
+        monomial = Monomial(exponents)
+        terms[monomial] = terms.get(monomial, 0.0) + coefficient
+    return Polynomial(terms)
+
+
+@st.composite
+def provenance_sets(draw, max_groups=3):
+    result = ProvenanceSet()
+    for index in range(draw(st.integers(min_value=1, max_value=max_groups))):
+        result[(f"g{index}",)] = draw(polynomials())
+    return result
+
+
+@st.composite
+def scenarios(draw, max_operations=3):
+    scenario = Scenario(f"s{draw(st.integers(min_value=0, max_value=10**6))}")
+    for _ in range(draw(st.integers(min_value=0, max_value=max_operations))):
+        selector = draw(
+            st.one_of(
+                st.sampled_from(SELECTOR_POOL),
+                st.lists(st.sampled_from(SELECTOR_POOL), max_size=3),
+            )
+        )
+        amount = draw(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+        )
+        if draw(st.booleans()):
+            scenario = scenario.scale(selector, amount)
+        else:
+            scenario = scenario.set_value(selector, amount)
+    return scenario
+
+
+@st.composite
+def base_valuations(draw):
+    return Valuation(
+        {
+            name: draw(
+                st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+            )
+            for name in draw(
+                st.lists(st.sampled_from(VARIABLE_NAMES), unique=True)
+            )
+        }
+    )
+
+
+def _sequential_results(provenance, scenario, base):
+    filled = base.updated(
+        {name: 1.0 for name in base.missing(provenance.variables())}
+    )
+    valuation = scenario.apply(filled, provenance.variables())
+    return {
+        key: polynomial.evaluate(valuation)
+        for key, polynomial in provenance.items()
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    provenance=provenance_sets(),
+    scenario_list=st.lists(scenarios(), min_size=1, max_size=6),
+    base=base_valuations(),
+)
+def test_batch_matches_sequential_apply_evaluate(provenance, scenario_list, base):
+    report = BatchEvaluator().evaluate(provenance, scenario_list, base_valuation=base)
+    for index, scenario in enumerate(scenario_list):
+        expected = _sequential_results(provenance, scenario, base)
+        outcome = report.outcome(index)
+        for key, value in expected.items():
+            assert outcome.results[key] == pytest.approx(
+                value, rel=1e-6, abs=1e-6
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scenario_list=st.lists(scenarios(), min_size=1, max_size=5),
+    base=base_valuations(),
+)
+def test_valuation_matrix_rows_match_scenario_apply(scenario_list, base):
+    batch = ScenarioBatch(scenario_list, VARIABLE_NAMES)
+    matrix = batch.valuation_matrix(base)
+    filled = Valuation(
+        {name: base.get(name, 1.0) for name in batch.variables}
+    )
+    for row, scenario in enumerate(scenario_list):
+        applied = scenario.apply(filled, batch.variables)
+        for column, name in enumerate(batch.variables):
+            assert matrix[row, column] == pytest.approx(
+                applied[name], rel=1e-12, abs=1e-12
+            )
+
+
+def test_set_then_scale_ordering_parity():
+    provenance = ProvenanceSet(
+        {("g",): Polynomial({Monomial.of("a"): 2.0, Monomial.of("b"): 3.0})}
+    )
+    scenario = (
+        Scenario("ordered")
+        .set_value(["a"], 10.0)
+        .scale(["a"], 0.5)
+        .scale(["b"], 2.0)
+        .set_value(["b"], 7.0)
+    )
+    report = BatchEvaluator().evaluate(provenance, [scenario])
+    expected = _sequential_results(provenance, scenario, Valuation())
+    assert report.outcome(0).results[("g",)] == pytest.approx(expected[("g",)])
+    # set after scale wins: b ends at 7, a at 5.
+    assert report.outcome(0).results[("g",)] == pytest.approx(2.0 * 5.0 + 3.0 * 7.0)
+
+
+def test_empty_selector_parity():
+    provenance = ProvenanceSet(
+        {("g",): Polynomial({Monomial.of("a"): 1.0})}
+    )
+    scenario = Scenario("ghost").scale(["missing"], 99.0).set_value([], 5.0)
+    report = BatchEvaluator().evaluate(provenance, [scenario])
+    assert report.outcome(0).results[("g",)] == pytest.approx(1.0)
+    assert report.outcome(0).total_delta == pytest.approx(0.0)

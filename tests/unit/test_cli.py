@@ -17,8 +17,45 @@ class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "telephony", "tpch", "compress"):
+        for command in ("demo", "telephony", "batch", "tpch", "compress"):
             assert command in text
+
+
+class TestBatchCommand:
+    ARGS = [
+        "batch",
+        "--scenarios", "12",
+        "--customers", "300",
+        "--zips", "5",
+        "--months", "6",
+    ]
+
+    def test_full_provenance_only(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "12 scenarios x 5 result groups" in output
+        assert "batch evaluation:" in output
+        assert "compressed provenance" not in output
+
+    def test_with_bound_and_sequential_comparison(self, capsys, tmp_path):
+        summary_path = tmp_path / "batch.json"
+        assert (
+            main(
+                self.ARGS
+                + [
+                    "--bound", "120",
+                    "--compare-sequential",
+                    "--json", str(summary_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "compressed provenance" in output
+        assert "sequential Scenario.apply + evaluate" in output
+        summary = json.loads(summary_path.read_text())
+        assert summary["scenarios"] == 12
+        assert summary["batch_seconds"] > 0.0
 
 
 class TestDemoCommand:

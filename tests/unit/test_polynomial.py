@@ -234,3 +234,48 @@ class TestProvenanceSet:
     def test_get_default(self):
         provenance = ProvenanceSet()
         assert provenance.get("missing") is None
+
+
+class TestProvenanceSetCaches:
+    def test_variables_cached_and_invalidated_on_setitem(self):
+        provenance = ProvenanceSet({("a",): poly(x=1)})
+        first = provenance.variables()
+        assert provenance.variables() is first  # cached object reused
+        provenance[("b",)] = poly(y=2)
+        assert provenance.variables() == frozenset({"x", "y"})
+
+    def test_variables_invalidated_on_add(self):
+        provenance = ProvenanceSet({("a",): poly(x=1)})
+        assert provenance.variables() == frozenset({"x"})
+        provenance.add(("a",), poly(z=1))
+        assert provenance.variables() == frozenset({"x", "z"})
+
+    def test_fingerprint_stable_for_equal_content(self):
+        a = ProvenanceSet({("k",): poly(x=1, y=2)})
+        b = ProvenanceSet({("k",): poly(x=1, y=2)})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_content(self):
+        provenance = ProvenanceSet({("k",): poly(x=1)})
+        before = provenance.fingerprint()
+        provenance[("k2",)] = poly(y=3)
+        assert provenance.fingerprint() != before
+
+    def test_fingerprint_distinguishes_coefficients(self):
+        a = ProvenanceSet({("k",): poly(x=1)})
+        b = ProvenanceSet({("k",): poly(x=2)})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_ignores_insertion_order(self):
+        a = ProvenanceSet()
+        a[("k1",)] = poly(x=1)
+        a[("k2",)] = poly(y=2)
+        b = ProvenanceSet()
+        b[("k2",)] = poly(y=2)
+        b[("k1",)] = poly(x=1)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_key_boundaries(self):
+        a = ProvenanceSet({("ab",): poly(x=1)})
+        b = ProvenanceSet({("a",): poly(x=1), ("b",): poly(x=1)})
+        assert a.fingerprint() != b.fingerprint()

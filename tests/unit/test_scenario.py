@@ -59,6 +59,33 @@ class TestApply:
         valuation = scenario.apply({"m1": 1.0, "m3": 1.0})
         assert valuation["m1"] == pytest.approx(2.0)
 
+
+class TestResolvedOperations:
+    def test_selectors_resolved_once_per_application(self):
+        scenario = (
+            Scenario("multi")
+            .scale(["m1"], 2.0)
+            .set_value("m3", 0.5)
+            .scale(lambda name: name.startswith("b"), 1.1)
+        )
+        resolved = scenario.resolved_operations(VARIABLES)
+        assert resolved == (
+            ("scale", ("m1",), 2.0),
+            ("set", ("m3",), 0.5),
+            ("scale", ("b1", "b2"), 1.1),
+        )
+
+    def test_resolution_consumes_an_iterator_only_once(self):
+        scenario = Scenario("two-ops").scale(["m1"], 2.0).scale(["m3"], 3.0)
+        resolved = scenario.resolved_operations(iter(VARIABLES))
+        assert resolved[0][1] == ("m1",)
+        assert resolved[1][1] == ("m3",)
+
+    def test_unknown_names_resolve_empty(self):
+        scenario = Scenario("ghost").scale(["nope"], 2.0).scale("also-nope", 3.0)
+        resolved = scenario.resolved_operations(VARIABLES)
+        assert all(selected == () for _kind, selected, _amount in resolved)
+
     def test_explicit_variable_universe(self):
         scenario = Scenario("s").scale(lambda name: name.startswith("m"), 0.5)
         valuation = scenario.apply(Valuation({}), variables=["m1", "m9"])

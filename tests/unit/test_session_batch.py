@@ -1,9 +1,12 @@
 """Unit tests for batch scenario comparison on a session."""
 
+import numpy as np
 import pytest
 
+from repro.batch import BatchEvaluator, BatchReport
 from repro.engine.scenario import Scenario
 from repro.engine.session import CobraSession
+from repro.exceptions import SessionStateError
 from repro.workloads.abstraction_trees import plans_tree
 
 
@@ -45,3 +48,77 @@ class TestCompareScenarios:
     def test_speedup_disabled_by_default(self, session):
         reports = session.compare_scenarios([Scenario("march").scale(["m3"], 0.8)])
         assert reports["march"].speedup is None
+
+
+class TestEvaluateMany:
+    SCENARIOS = [
+        Scenario("noop"),
+        Scenario("march").scale(["m3"], 0.8),
+        Scenario("business").scale(["b1", "b2", "e"], 1.1),
+        Scenario("single plan").scale(["b1"], 2.0),
+    ]
+
+    def test_returns_one_row_per_scenario(self, session):
+        report = session.evaluate_many(self.SCENARIOS)
+        assert isinstance(report, BatchReport)
+        assert report.scenario_names == ("noop", "march", "business", "single plan")
+        assert report.full_results.shape == (4, len(session.provenance))
+        assert report.full_size == session.provenance.size()
+
+    def test_matches_assign_scenario(self, session):
+        report = session.evaluate_many(self.SCENARIOS)
+        for index, scenario in enumerate(self.SCENARIOS):
+            sequential = session.assign_scenario(
+                scenario, measure_assignment_speedup=False
+            )
+            outcome = report.outcome(index)
+            for group in sequential.groups:
+                assert outcome.results[group.key] == pytest.approx(
+                    group.full_result, rel=1e-9
+                )
+                column = report.keys.index(group.key)
+                assert report.compressed_results[index, column] == pytest.approx(
+                    group.compressed_result, rel=1e-9, abs=1e-9
+                )
+
+    def test_compressed_included_after_compress(self, session):
+        report = session.evaluate_many(self.SCENARIOS)
+        assert report.compressed_results is not None
+        assert report.compressed_size == session.compressed_provenance.size()
+        # group-uniform scenarios are exact; the single-plan one is not
+        errors = report.absolute_errors
+        assert errors[1].max() < 1e-9
+        assert errors[3].max() > 0.0
+
+    def test_include_compressed_false(self, session):
+        report = session.evaluate_many(self.SCENARIOS, include_compressed=False)
+        assert report.compressed_results is None
+        assert report.compressed_size is None
+
+    def test_include_compressed_true_requires_compression(self, example2):
+        fresh = CobraSession(example2)
+        with pytest.raises(SessionStateError):
+            fresh.evaluate_many(self.SCENARIOS, include_compressed=True)
+        report = fresh.evaluate_many(self.SCENARIOS)  # "auto" degrades gracefully
+        assert report.compressed_results is None
+
+    def test_invalid_include_compressed(self, session):
+        with pytest.raises(SessionStateError):
+            session.evaluate_many(self.SCENARIOS, include_compressed="sometimes")
+
+    def test_session_reuses_its_evaluator_cache(self, session):
+        session.evaluate_many(self.SCENARIOS)
+        evaluator = session._batch_evaluator
+        before = evaluator.cache_info()["hits"]
+        session.evaluate_many(self.SCENARIOS)
+        assert evaluator.cache_info()["hits"] > before
+
+    def test_explicit_evaluator_is_used(self, session):
+        evaluator = BatchEvaluator(cache_size=4)
+        session.evaluate_many(self.SCENARIOS, evaluator=evaluator)
+        assert evaluator.cache_info()["misses"] >= 1
+
+    def test_noop_scenario_matches_baseline(self, session):
+        report = session.evaluate_many(self.SCENARIOS)
+        np.testing.assert_allclose(report.full_results[0], report.baseline)
+        assert report.outcome(0).total_delta == pytest.approx(0.0)
