@@ -42,7 +42,9 @@ from repro.core import (
     AbstractionForest,
     AbstractionTree,
     CompressionResult,
+    Compressor,
     Cut,
+    IncrementalGreedyKernel,
     OptimizationResult,
     apply_abstraction,
     compute_size_profile,
@@ -89,7 +91,9 @@ __all__ = [
     "AbstractionForest",
     "AbstractionTree",
     "CompressionResult",
+    "Compressor",
     "Cut",
+    "IncrementalGreedyKernel",
     "OptimizationResult",
     "apply_abstraction",
     "default_meta_valuation",

@@ -12,18 +12,25 @@ so threads parallelise them without pickling anything).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.compression import Abstraction
+from repro.core.compression import Abstraction, Compressor
 from repro.engine.scenario import Scenario
 from repro.provenance.polynomial import ProvenanceSet
-from repro.provenance.valuation import CompiledProvenanceSet, Valuation
+from repro.provenance.valuation import (
+    CompiledProvenanceSet,
+    FingerprintCache,
+    Valuation,
+)
 from repro.batch.planner import ScenarioBatch
 from repro.batch.report import BatchReport
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+    from repro.core.optimizer import OptimizationResult
 
 #: Target number of (monomial × scenario) cells per evaluation chunk; keeps
 #: the per-chunk gather/product temporaries comfortably inside cache/RAM.
@@ -84,6 +91,7 @@ class BatchEvaluator:
         cache_size: int = 8,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        compressor: Optional[Compressor] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -91,42 +99,35 @@ class BatchEvaluator:
             raise ValueError("max_workers must be >= 1 (or None)")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 (or None)")
-        self._cache_size = cache_size
         self._max_workers = max_workers
         self._chunk_size = chunk_size
-        self._compiled: "OrderedDict[str, CompiledProvenanceSet]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        self._compiled = FingerprintCache(cache_size)
+        self._compressor = compressor
 
     # -- compiled-provenance cache -------------------------------------------
 
     def compile(self, provenance: ProvenanceSet) -> CompiledProvenanceSet:
         """The compiled form of ``provenance``, cached by content fingerprint."""
-        fingerprint = provenance.fingerprint()
-        cached = self._compiled.get(fingerprint)
-        if cached is not None:
-            self._compiled.move_to_end(fingerprint)
-            self._hits += 1
-            return cached
-        self._misses += 1
-        compiled = CompiledProvenanceSet(provenance)
-        self._compiled[fingerprint] = compiled
-        while len(self._compiled) > self._cache_size:
-            self._compiled.popitem(last=False)
-        return compiled
+        return self._compiled.get_or_build(
+            provenance.fingerprint(), lambda: CompiledProvenanceSet(provenance)
+        )
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/size counters of the compiled-provenance cache."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "entries": len(self._compiled),
-            "capacity": self._cache_size,
-        }
+        return self._compiled.info()
 
     def clear_cache(self) -> None:
         """Drop every cached compilation (counters are kept)."""
         self._compiled.clear()
+
+    # -- compression ----------------------------------------------------------
+
+    @property
+    def compressor(self) -> Compressor:
+        """The evaluator's compression service (lazy; share one for a fleet)."""
+        if self._compressor is None:
+            self._compressor = Compressor()
+        return self._compressor
 
     # -- matrix evaluation ----------------------------------------------------
 
@@ -216,3 +217,39 @@ class BatchEvaluator:
             full_size=provenance.size(),
             compressed_size=compressed_size,
         )
+
+    def compress_and_evaluate(
+        self,
+        provenance: ProvenanceSet,
+        trees: "Union[AbstractionTree, AbstractionForest]",
+        bound: int,
+        scenarios: Sequence[Scenario],
+        base_valuation: Optional[Mapping[str, float]] = None,
+        strategy: str = "incremental",
+        allow_infeasible: bool = False,
+    ) -> Tuple[BatchReport, "OptimizationResult"]:
+        """Compress under ``bound`` and evaluate ``scenarios`` in one call.
+
+        The compress-once-then-sweep service path: the abstraction is chosen
+        through :attr:`compressor` (so repeated calls over the same
+        provenance/forest — even at different bounds — reuse one cached
+        coarsening trajectory), and both the full and the compressed
+        provenance come out of the fingerprint-keyed compile cache.  Returns
+        the batch report together with the optimisation result that produced
+        the abstraction.
+        """
+        result = self.compressor.compress(
+            provenance,
+            trees,
+            bound,
+            strategy=strategy,
+            allow_infeasible=allow_infeasible,
+        )
+        report = self.evaluate(
+            provenance,
+            scenarios,
+            base_valuation=base_valuation,
+            compressed=result.compressed,
+            abstraction=result.abstraction,
+        )
+        return report, result

@@ -124,9 +124,11 @@ def run_telephony(args: argparse.Namespace) -> int:
 
     session = CobraSession(provenance)
     session.set_abstraction_trees(plans_tree())
+    # With --strategy incremental the whole bound sweep shares one cached
+    # coarsening trajectory (compress once, then sweep).
     for bound in args.bounds:
         session.set_bound(bound)
-        result = session.compress()
+        result = session.compress(method=args.strategy)
         report = session.assign()
         _print(
             f"bound {bound:>8}: size {result.achieved_size:>8}  "
@@ -187,7 +189,7 @@ def run_batch(args: argparse.Namespace) -> int:
     if args.bound is not None:
         session.set_abstraction_trees(plans_tree())
         session.set_bound(args.bound)
-        session.compress()
+        session.compress(method=args.strategy)
         _print(
             f"Compressed under bound {args.bound}: "
             f"{session.compressed_provenance.size()} monomials"
@@ -256,8 +258,12 @@ def run_compress(args: argparse.Namespace) -> int:
     session = CobraSession(provenance)
     session.set_abstraction_trees(tree)
     session.set_bound(args.bound)
-    result = session.compress(allow_infeasible=args.allow_infeasible)
+    result = session.compress(
+        method=args.strategy, allow_infeasible=args.allow_infeasible
+    )
 
+    resolved = result.strategy or result.algorithm
+    _print(f"strategy: {args.strategy} -> {resolved} (algorithm: {result.algorithm})")
     _print(f"cut: {sorted(result.cut.nodes) if result.cut else None}")
     _print(
         f"size: {result.compression.original_size} -> {result.achieved_size} "
@@ -292,6 +298,23 @@ def _positive_int(text: str) -> int:
     return value
 
 
+#: Compression strategies the CLI exposes (``session.compress(method=...)``):
+#: ``incremental`` is the kernel-backed greedy with trajectory reuse across
+#: bound sweeps, ``legacy`` the full-rescan greedy baseline; ``greedy`` /
+#: ``dp`` / ``exact`` force the respective algorithms (``greedy`` picks its
+#: engine automatically); ``auto`` picks per instance.
+_STRATEGY_CHOICES = ("auto", "incremental", "legacy", "greedy", "dp", "exact")
+
+
+def _add_strategy_argument(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=_STRATEGY_CHOICES,
+        default=default,
+        help=f"abstraction-selection strategy (default: {default})",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``cobra`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -318,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[94_600, 38_600],
         help="monomial bounds to try (paper: 94600 and 38600)",
     )
+    _add_strategy_argument(telephony, default="auto")
     telephony.set_defaults(func=run_telephony)
 
     batch = subparsers.add_parser(
@@ -342,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the sequential per-scenario path and print the speedup",
     )
     batch.add_argument("--json", help="where to write a JSON summary")
+    _add_strategy_argument(batch, default="auto")
     batch.set_defaults(func=run_batch)
 
     tpch = subparsers.add_parser("tpch", help="run the TPC-H workload")
@@ -371,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write a JSON summary (sizes, chosen cut, abstraction groups)",
     )
     compress.add_argument("--allow-infeasible", action="store_true")
+    _add_strategy_argument(compress, default="auto")
     compress.set_defaults(func=run_compress)
 
     return parser

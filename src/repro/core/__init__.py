@@ -15,6 +15,9 @@ This subpackage implements the paper's contribution:
   optimality on small instances;
 * :mod:`repro.core.greedy` — a greedy coarsening heuristic that also handles
   the general (multi-variable-per-monomial) case;
+* :mod:`repro.core.kernel` — the incremental compression kernel backing the
+  greedy: CSR monomial-incidence index, delta-updated merge-gain counters,
+  lazy-heap candidate selection and cached bound sweeps (``Compressor``);
 * :mod:`repro.core.multi_tree` — optimisation over forests of abstraction
   trees (exact for small forests, greedy budget allocation otherwise);
 * :mod:`repro.core.defaults` — default valuations for meta-variables
@@ -25,7 +28,17 @@ This subpackage implements the paper's contribution:
 
 from repro.core.abstraction_tree import AbstractionTree, AbstractionForest, TreeNode
 from repro.core.cut import Cut, enumerate_cuts, leaf_cut, root_cut
-from repro.core.compression import Abstraction, CompressionResult, apply_abstraction
+from repro.core.compression import (
+    Abstraction,
+    CompressionResult,
+    Compressor,
+    apply_abstraction,
+)
+from repro.core.kernel import (
+    GreedyTrajectory,
+    IncrementalGreedyKernel,
+    MonomialIncidenceIndex,
+)
 from repro.core.optimizer import (
     OptimizationResult,
     compute_size_profile,
@@ -53,6 +66,10 @@ __all__ = [
     "root_cut",
     "Abstraction",
     "CompressionResult",
+    "Compressor",
+    "GreedyTrajectory",
+    "IncrementalGreedyKernel",
+    "MonomialIncidenceIndex",
     "apply_abstraction",
     "OptimizationResult",
     "compute_size_profile",

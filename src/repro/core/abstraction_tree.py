@@ -405,3 +405,10 @@ class AbstractionForest:
 
     def __repr__(self) -> str:
         return f"AbstractionForest(trees={len(self._trees)})"
+
+
+def as_forest(trees: "AbstractionTree | AbstractionForest") -> AbstractionForest:
+    """Coerce a single tree to a one-tree forest (forests pass through)."""
+    if isinstance(trees, AbstractionForest):
+        return trees
+    return AbstractionForest([trees])

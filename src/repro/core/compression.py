@@ -5,6 +5,12 @@ induced by one cut per tree of a forest.  Applying it to a polynomial (or a
 whole :class:`~repro.provenance.polynomial.ProvenanceSet`) renames variables
 and merges monomials that become identical, summing their coefficients —
 the mechanism by which provenance shrinks (Example 4 of the paper).
+
+:class:`Compressor` is the service façade over the abstraction-selection
+algorithms: it routes a ``(provenance, trees, bound)`` request to the chosen
+strategy and, for the incremental kernel, caches the bound-independent
+coarsening trajectory by provenance fingerprint so bound sweeps pay for the
+search once ("compress once, then sweep").
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from repro.exceptions import AbstractionError
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
-from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree, as_forest
 from repro.core.cut import Cut
 
 
@@ -219,3 +225,161 @@ def apply_abstraction(
         original_variables=provenance_set.num_variables(),
         compressed_variables=compressed.num_variables(),
     )
+
+
+class Compressor:
+    """Strategy-routing compression service with a trajectory cache.
+
+    ``strategy`` values:
+
+    * ``"incremental"`` (default) — the :mod:`repro.core.kernel` greedy: the
+      bound-independent coarsening trajectory is computed once per distinct
+      ``(provenance, forest)`` pair (keyed by content fingerprint + forest
+      structure), lazily extended, and every bound is answered from its
+      prefix.  Identical cuts to the legacy greedy, at a fraction of the
+      cost — and a *sweep* of bounds costs barely more than one.  Inputs
+      the kernel cannot model (an inner-node name colliding with a
+      provenance variable) fall back to the legacy greedy transparently.
+    * ``"legacy"`` — the original full-rescan greedy.
+    * ``"auto"`` / ``"dp"`` / ``"exact"`` / ``"greedy"`` — delegated to
+      :func:`repro.core.multi_tree.optimize_forest` unchanged.
+
+    The cache makes a single ``Compressor`` shareable between a
+    :class:`~repro.engine.session.CobraSession` and the batch service.
+    """
+
+    _FOREST_STRATEGIES = ("auto", "dp", "exact", "greedy")
+
+    def __init__(self, cache_size: int = 8) -> None:
+        from repro.provenance.valuation import FingerprintCache
+
+        self._trajectories = FingerprintCache(cache_size)
+
+    def compress(
+        self,
+        provenance: ProvenanceLike,
+        trees: "AbstractionTree | AbstractionForest",
+        bound: int,
+        strategy: str = "incremental",
+        allow_infeasible: bool = False,
+        keep_trace: bool = False,
+    ) -> "OptimizationResult":
+        """Select and apply the best abstraction of ``trees`` under ``bound``."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if strategy == "legacy":
+            from repro.core.greedy import optimize_greedy
+
+            return optimize_greedy(
+                provenance,
+                trees,
+                bound,
+                allow_infeasible=allow_infeasible,
+                keep_trace=keep_trace,
+                strategy="legacy",
+            )
+        if strategy in self._FOREST_STRATEGIES:
+            from repro.core.multi_tree import optimize_forest
+
+            return optimize_forest(
+                provenance,
+                trees,
+                bound,
+                method=strategy,
+                allow_infeasible=allow_infeasible,
+                keep_trace=keep_trace,
+            )
+        if strategy != "incremental":
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected 'incremental', "
+                f"'legacy' or one of {self._FOREST_STRATEGIES}"
+            )
+
+        provenance_set = _as_provenance_set(provenance)
+        forest = as_forest(trees)
+
+        from repro.core.kernel.greedy import kernel_supports
+
+        if not kernel_supports(provenance_set, forest):
+            # Inner-node name collides with a provenance variable: the
+            # kernel cannot model the resulting merges, so the service
+            # falls back to the (identical-output) legacy greedy rather
+            # than failing the request.
+            from repro.core.greedy import optimize_greedy
+
+            return optimize_greedy(
+                provenance_set,
+                forest,
+                bound,
+                allow_infeasible=allow_infeasible,
+                keep_trace=keep_trace,
+                strategy="legacy",
+            )
+        trajectory = self._trajectory(provenance_set, forest)
+        prefix, feasible = trajectory.resolve(bound, allow_infeasible)
+        cuts = trajectory.cuts_after(prefix)
+        abstraction = Abstraction.from_cuts(cuts)
+        compression = apply_abstraction(provenance_set, abstraction)
+        trace = {"steps": trajectory.trace_steps(prefix)} if keep_trace else None
+
+        from repro.core.optimizer import OptimizationResult
+
+        return OptimizationResult(
+            cut=cuts[0] if len(cuts) == 1 else None,
+            cuts=cuts,
+            compression=compression,
+            bound=bound,
+            feasible=feasible,
+            predicted_size=trajectory.size_after(prefix),
+            algorithm="greedy",
+            trace=trace,
+            strategy="incremental",
+        )
+
+    def sweep(
+        self,
+        provenance: ProvenanceLike,
+        trees: "AbstractionTree | AbstractionForest",
+        bounds: Iterable[int],
+        strategy: str = "incremental",
+        allow_infeasible: bool = False,
+    ) -> Dict[int, "OptimizationResult"]:
+        """Compress under every bound in ``bounds`` (one trajectory, N prefixes)."""
+        return {
+            int(bound): self.compress(
+                provenance,
+                trees,
+                int(bound),
+                strategy=strategy,
+                allow_infeasible=allow_infeasible,
+            )
+            for bound in bounds
+        }
+
+    def _trajectory(self, provenance_set: ProvenanceSet, forest: AbstractionForest):
+        from repro.core.kernel.index import forest_signature
+        from repro.core.kernel.trajectory import GreedyTrajectory
+
+        # Cut equality requires tree *identity*, so the key pins the exact
+        # tree objects alongside the structural fingerprints.
+        key = (
+            provenance_set.fingerprint(),
+            forest_signature(forest),
+            tuple(id(tree) for tree in forest.trees()),
+        )
+        return self._trajectories.get_or_build(
+            key, lambda: GreedyTrajectory(provenance_set, forest)
+        )
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the trajectory cache."""
+        return self._trajectories.info()
+
+    def clear_cache(self) -> None:
+        """Drop this instance's cached trajectories (counters are kept).
+
+        The kernel's incidence-index cache is process-global (shared by all
+        compressors and the greedy's ``"auto"`` path); release it explicitly
+        via :func:`repro.core.kernel.index.clear_incidence_cache`.
+        """
+        self._trajectories.clear()

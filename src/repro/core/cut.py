@@ -64,6 +64,22 @@ class Cut:
         """Convenience constructor: ``Cut.of(tree, "Business", "Special", "Standard")``."""
         return cls(tree, nodes)
 
+    @classmethod
+    def trusted(cls, tree: AbstractionTree, nodes: Iterable[str]) -> "Cut":
+        """Build a cut *without* revalidating the leaf-coverage/antichain property.
+
+        The ``__init__`` validation walks every leaf's ancestor chain — an
+        O(leaves × depth) cost that is pure overhead for cuts derived from an
+        already-valid cut by a structure-preserving operation (``coarsen``,
+        ``leaf_cut``, ``root_cut``, the incremental kernel's internal steps).
+        Those call sites use this fast path; user-supplied node sets must keep
+        going through the validating constructor.
+        """
+        cut = cls.__new__(cls)
+        cut._tree = tree
+        cut._nodes = frozenset(nodes)
+        return cut
+
     # -- access ------------------------------------------------------------
 
     @property
@@ -141,7 +157,9 @@ class Cut:
             raise InvalidCutError(
                 f"coarsening at {node!r} would not replace any cut node"
             )
-        return Cut(self._tree, (self._nodes - below) | {node})
+        # Replacing all cut nodes at/below ``node`` by ``node`` preserves the
+        # unique-covering property, so the result is valid by construction.
+        return Cut.trusted(self._tree, (self._nodes - below) | {node})
 
     def __repr__(self) -> str:
         return f"Cut({sorted(self._nodes)})"
@@ -149,12 +167,12 @@ class Cut:
 
 def leaf_cut(tree: AbstractionTree) -> Cut:
     """The finest cut: every leaf is kept as its own variable (no compression)."""
-    return Cut(tree, tree.leaves())
+    return Cut.trusted(tree, tree.leaves())
 
 
 def root_cut(tree: AbstractionTree) -> Cut:
     """The coarsest cut: all leaves collapse into a single meta-variable."""
-    return Cut(tree, [tree.root])
+    return Cut.trusted(tree, [tree.root])
 
 
 def enumerate_cuts(tree: AbstractionTree) -> Iterator[Cut]:

@@ -10,15 +10,27 @@ Unlike the exact dynamic program it makes no assumption about how many tree
 variables a monomial contains, and it handles forests of several trees, so
 it serves both as the general-case algorithm and as the ablation baseline
 against the exact DP (benchmark E8).
+
+Two interchangeable engines implement the search:
+
+* ``strategy="legacy"`` — the original full-rescan loop: every candidate's
+  gain is recomputed by scanning every monomial at every step;
+* ``strategy="incremental"`` — the :mod:`repro.core.kernel` pipeline:
+  delta-updated gain counters popped from a lazy max-heap, emitting the
+  identical cut sequence at a fraction of the cost.
+
+``strategy="auto"`` (the default) uses the incremental kernel whenever its
+precondition holds (no inner-node name collides with a provenance variable)
+and falls back to the legacy scan otherwise.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.exceptions import InfeasibleBoundError
+from repro.exceptions import InfeasibleBoundError, UnsupportedPolynomialError
 from repro.provenance.polynomial import Monomial, ProvenanceSet
-from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree, as_forest
 from repro.core.compression import (
     Abstraction,
     ProvenanceLike,
@@ -30,11 +42,7 @@ from repro.core.optimizer import OptimizationResult
 
 TreeOrForest = Union[AbstractionTree, AbstractionForest]
 
-
-def _as_forest(trees: TreeOrForest) -> AbstractionForest:
-    if isinstance(trees, AbstractionForest):
-        return trees
-    return AbstractionForest([trees])
+_STRATEGIES = ("auto", "legacy", "incremental")
 
 
 def _renamed_size(provenance: ProvenanceSet, rename: Dict[str, str]) -> int:
@@ -64,6 +72,7 @@ def optimize_greedy(
     bound: int,
     allow_infeasible: bool = False,
     keep_trace: bool = False,
+    strategy: str = "auto",
 ) -> OptimizationResult:
     """Greedily coarsen cuts of ``trees`` until the provenance fits ``bound``.
 
@@ -73,14 +82,89 @@ def optimize_greedy(
     variables lost, then deeper nodes).  The search stops as soon as the
     current size is within the bound.
 
-    Returns an :class:`~repro.core.optimizer.OptimizationResult` with
-    ``algorithm="greedy"``.
+    ``strategy`` selects the engine (``"auto"``, ``"legacy"`` or
+    ``"incremental"``); both engines produce identical cut sequences, and
+    the returned :class:`~repro.core.optimizer.OptimizationResult` always
+    has ``algorithm="greedy"`` with the engine recorded in ``strategy``.
     """
     if bound < 0:
         raise ValueError("bound must be non-negative")
-    forest = _as_forest(trees)
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    forest = as_forest(trees)
     provenance_set = _as_provenance_set(provenance)
 
+    if strategy != "legacy":
+        from repro.core.kernel.greedy import kernel_supports
+
+        if kernel_supports(provenance_set, forest):
+            return _optimize_greedy_incremental(
+                provenance_set, forest, bound, allow_infeasible, keep_trace
+            )
+        if strategy == "incremental":
+            raise UnsupportedPolynomialError(
+                "the incremental kernel requires inner-node names disjoint "
+                "from the provenance variables (use strategy='legacy')"
+            )
+    return _optimize_greedy_scan(
+        provenance_set, forest, bound, allow_infeasible, keep_trace
+    )
+
+
+def _optimize_greedy_incremental(
+    provenance_set: ProvenanceSet,
+    forest: AbstractionForest,
+    bound: int,
+    allow_infeasible: bool,
+    keep_trace: bool,
+) -> OptimizationResult:
+    """The kernel-backed engine: delta-updated gains, lazy-heap selection."""
+    from repro.core.kernel.greedy import IncrementalGreedyKernel
+
+    kernel = IncrementalGreedyKernel(provenance_set, forest)
+    feasible = kernel.run(bound)
+    if not feasible and not allow_infeasible:
+        raise InfeasibleBoundError(bound, kernel.current_size)
+
+    cuts = kernel.cuts()
+    abstraction = Abstraction.from_cuts(cuts)
+    compression = apply_abstraction(provenance_set, abstraction)
+    trace = None
+    if keep_trace:
+        trace = {
+            "steps": [
+                {
+                    "coarsened_at": step["coarsened_at"],
+                    "tree": step["tree"],
+                    "size_before": step["size_before"],
+                    "size_after": step["size_after"],
+                }
+                for step in kernel.steps
+            ]
+        }
+    return OptimizationResult(
+        cut=cuts[0] if len(cuts) == 1 else None,
+        cuts=cuts,
+        compression=compression,
+        bound=bound,
+        feasible=feasible,
+        predicted_size=kernel.current_size,
+        algorithm="greedy",
+        trace=trace,
+        strategy="incremental",
+    )
+
+
+def _optimize_greedy_scan(
+    provenance_set: ProvenanceSet,
+    forest: AbstractionForest,
+    bound: int,
+    allow_infeasible: bool,
+    keep_trace: bool,
+) -> OptimizationResult:
+    """The original engine: full candidate rescans at every step."""
     cuts: List[Cut] = [leaf_cut(tree) for tree in forest.trees()]
     current = provenance_set
     current_size = provenance_set.size()
@@ -151,4 +235,5 @@ def optimize_greedy(
         predicted_size=current_size,
         algorithm="greedy",
         trace=trace,
+        strategy="legacy",
     )

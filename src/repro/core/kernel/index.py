@@ -1,0 +1,131 @@
+"""A CSR-style monomial-incidence index over a provenance set and forest.
+
+The incremental greedy kernel needs, for every node of every abstraction
+tree, the set of monomial rows its subtree touches — i.e. the rows whose
+monomial contains at least one variable that is a descendant-or-self of the
+node.  Building this naively per node is quadratic; this module flattens the
+provenance once (:func:`repro.provenance.statistics.enumerate_monomial_rows`)
+and aggregates leaf incidence lists bottom-up into one flat CSR layout:
+
+* ``row_ids`` — a single ``int64`` array concatenating, node by node, the
+  ascending row ids touching each node's subtree;
+* ``node_ptr`` — node name → ``(start, end)`` slice into ``row_ids``.
+
+Indexes are immutable and therefore safely shareable; :func:`incidence_index`
+memoises them in a :class:`~repro.provenance.valuation.FingerprintCache`
+keyed by ``(provenance.fingerprint(), forest signature)`` — the same
+fingerprint-cached machinery the batch evaluator uses for compiled
+provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.abstraction_tree import AbstractionForest
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.statistics import MonomialRow, enumerate_monomial_rows
+from repro.provenance.valuation import FingerprintCache
+
+_EMPTY_ROWS = np.zeros(0, dtype=np.int64)
+
+
+class MonomialIncidenceIndex:
+    """Static incidence structure of a provenance set w.r.t. a forest.
+
+    Attributes
+    ----------
+    rows:
+        The flattened monomials, ``(group_index, factors, coefficient)`` per
+        row, in deterministic order.
+    variable_rows:
+        variable name → ascending row-id list (leaf-level incidence).
+    """
+
+    __slots__ = ("rows", "variable_rows", "_row_ids", "_node_ptr")
+
+    def __init__(self, provenance: ProvenanceSet, forest: AbstractionForest) -> None:
+        self.rows, self.variable_rows = enumerate_monomial_rows(provenance)
+
+        # Bottom-up union of leaf incidence lists, laid out as one flat CSR
+        # array (node → contiguous slice of ascending row ids).
+        chunks: List[np.ndarray] = []
+        self._node_ptr: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+
+        def visit(tree, name: str) -> np.ndarray:
+            nonlocal offset
+            node = tree.node(name)
+            if node.is_leaf:
+                ids = self.variable_rows.get(name)
+                merged = (
+                    np.asarray(ids, dtype=np.int64) if ids else _EMPTY_ROWS
+                )
+            else:
+                child_arrays = [visit(tree, child) for child in node.children]
+                merged = (
+                    np.unique(np.concatenate(child_arrays))
+                    if child_arrays
+                    else _EMPTY_ROWS
+                )
+            chunks.append(merged)
+            self._node_ptr[name] = (offset, offset + len(merged))
+            offset += len(merged)
+            return merged
+
+        for tree in forest.trees():
+            visit(tree, tree.root)
+        self._row_ids: np.ndarray = (
+            np.concatenate(chunks) if chunks else _EMPTY_ROWS
+        )
+
+    def rows_under(self, node: str) -> np.ndarray:
+        """Ascending ids of the rows touching the subtree rooted at ``node``."""
+        start, end = self._node_ptr[node]
+        return self._row_ids[start:end]
+
+    def occurrences(self, node: str) -> int:
+        """How many monomial rows the subtree rooted at ``node`` touches."""
+        start, end = self._node_ptr[node]
+        return end - start
+
+    def num_rows(self) -> int:
+        """Total number of monomial rows (the provenance size)."""
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"MonomialIncidenceIndex(rows={len(self.rows)}, "
+            f"nodes={len(self._node_ptr)})"
+        )
+
+
+def forest_signature(forest: AbstractionForest) -> str:
+    """A structural signature of a forest (stable across equal structures)."""
+    return repr(forest.to_dict())
+
+
+_INDEX_CACHE = FingerprintCache(capacity=8)
+
+
+def incidence_index(
+    provenance: ProvenanceSet, forest: AbstractionForest
+) -> MonomialIncidenceIndex:
+    """The (cached) incidence index of ``provenance`` w.r.t. ``forest``."""
+    key = (provenance.fingerprint(), forest_signature(forest))
+    return _INDEX_CACHE.get_or_build(
+        key, lambda: MonomialIncidenceIndex(provenance, forest)
+    )
+
+
+def clear_incidence_cache() -> None:
+    """Drop every cached incidence index (they can hold large row arrays).
+
+    The cache is process-global — shared by every kernel construction — so
+    this is a module-level release valve for long-running services that
+    have moved on to other provenance sets, deliberately *not* tied to any
+    one ``Compressor`` instance's ``clear_cache``.
+    """
+    _INDEX_CACHE.clear()

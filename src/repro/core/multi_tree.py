@@ -19,7 +19,7 @@ from itertools import product
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import InfeasibleBoundError, UnsupportedPolynomialError
-from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
+from repro.core.abstraction_tree import AbstractionForest, AbstractionTree, as_forest
 from repro.core.compression import (
     Abstraction,
     ProvenanceLike,
@@ -51,15 +51,28 @@ def optimize_forest(
         exhaustive enumeration when the number of cut combinations is at most
         ``max_combinations``, and the greedy heuristic otherwise.  ``"exact"``
         forces enumeration (raising ``ValueError`` if too large), ``"greedy"``
-        forces the heuristic, ``"dp"`` forces the single-tree DP.
+        forces the heuristic, ``"dp"`` forces the single-tree DP, and
+        ``"incremental"`` forces the greedy through the incremental kernel
+        (:mod:`repro.core.kernel`) — identical cuts to ``"greedy"``, much
+        faster on large instances.
     """
     if bound < 0:
         raise ValueError("bound must be non-negative")
-    forest = trees if isinstance(trees, AbstractionForest) else AbstractionForest([trees])
+    forest = as_forest(trees)
     provenance_set = _as_provenance_set(provenance)
 
-    if method not in ("auto", "exact", "greedy", "dp"):
+    if method not in ("auto", "exact", "greedy", "dp", "incremental"):
         raise ValueError(f"unknown method {method!r}")
+
+    if method == "incremental":
+        return optimize_greedy(
+            provenance_set,
+            forest,
+            bound,
+            allow_infeasible=allow_infeasible,
+            keep_trace=keep_trace,
+            strategy="incremental",
+        )
 
     if method == "dp" or (method == "auto" and len(forest) == 1):
         try:

@@ -27,7 +27,7 @@ from repro.provenance.valuation import (
     Valuation,
 )
 from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
-from repro.core.compression import Abstraction
+from repro.core.compression import Abstraction, Compressor
 from repro.core.defaults import default_meta_valuation
 from repro.core.multi_tree import optimize_forest
 from repro.core.optimizer import OptimizationResult
@@ -83,6 +83,7 @@ class CobraSession:
         self._compiled_full: Optional[CompiledProvenanceSet] = None
         self._compiled_compressed: Optional[CompiledProvenanceSet] = None
         self._batch_evaluator = None  # lazy repro.batch.BatchEvaluator
+        self._compressor: Optional[Compressor] = None  # lazy, trajectory-cached
 
     # -- step 1: the input ----------------------------------------------------
 
@@ -125,27 +126,76 @@ class CobraSession:
 
     # -- step 3: compression ------------------------------------------------------
 
+    def compressor(self) -> Compressor:
+        """The session's trajectory-cached compression service (lazy)."""
+        if self._compressor is None:
+            self._compressor = Compressor()
+        return self._compressor
+
     def compress(
         self,
         method: str = "auto",
         allow_infeasible: bool = False,
         keep_trace: bool = False,
     ) -> OptimizationResult:
-        """Compute the optimal abstraction for the configured trees and bound."""
+        """Compute the optimal abstraction for the configured trees and bound.
+
+        ``method="incremental"`` routes through the session's
+        :class:`~repro.core.compression.Compressor`, so repeated
+        ``set_bound`` → ``compress`` rounds reuse one cached coarsening
+        trajectory instead of re-running the greedy search per bound;
+        ``method="legacy"`` forces the original full-rescan greedy.
+        """
         if self._trees is None:
             raise SessionStateError("call set_abstraction_trees() before compress()")
         if self._bound is None:
             raise SessionStateError("call set_bound() before compress()")
-        self._optimization = optimize_forest(
-            self._provenance,
-            self._trees,
-            self._bound,
-            method=method,
-            allow_infeasible=allow_infeasible,
-            keep_trace=keep_trace,
-        )
+        if method in ("incremental", "legacy"):
+            self._optimization = self.compressor().compress(
+                self._provenance,
+                self._trees,
+                self._bound,
+                strategy=method,
+                allow_infeasible=allow_infeasible,
+                keep_trace=keep_trace,
+            )
+        else:
+            self._optimization = optimize_forest(
+                self._provenance,
+                self._trees,
+                self._bound,
+                method=method,
+                allow_infeasible=allow_infeasible,
+                keep_trace=keep_trace,
+            )
         self._compiled_compressed = None
         return self._optimization
+
+    def compress_sweep(
+        self,
+        bounds: Sequence[int],
+        strategy: str = "incremental",
+        allow_infeasible: bool = False,
+    ) -> Dict[int, OptimizationResult]:
+        """Compress under every bound in ``bounds`` (compress once, sweep many).
+
+        The incremental kernel's coarsening order does not depend on the
+        bound, so the whole sweep shares one cached trajectory: the cost is
+        one greedy run down to the tightest bound, plus cheap prefix
+        reconstructions.  The session's own ``optimization`` state is left
+        untouched — use :meth:`compress` to commit to a single bound.
+        """
+        if self._trees is None:
+            raise SessionStateError(
+                "call set_abstraction_trees() before compress_sweep()"
+            )
+        return self.compressor().sweep(
+            self._provenance,
+            self._trees,
+            bounds,
+            strategy=strategy,
+            allow_infeasible=allow_infeasible,
+        )
 
     @property
     def optimization(self) -> OptimizationResult:
@@ -352,7 +402,11 @@ class CobraSession:
             )
         if evaluator is None:
             if self._batch_evaluator is None:
-                self._batch_evaluator = BatchEvaluator()
+                # Share the session's Compressor so a compress-then-sweep
+                # through either entry point reuses one trajectory cache.
+                self._batch_evaluator = BatchEvaluator(
+                    compressor=self.compressor()
+                )
             evaluator = self._batch_evaluator
 
         compressed = None

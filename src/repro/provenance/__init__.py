@@ -19,7 +19,12 @@ This subpackage implements the provenance model COBRA consumes:
 from repro.provenance.variables import Variable, VariableRegistry
 from repro.provenance.monomial import Monomial
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
-from repro.provenance.valuation import Valuation, CompiledPolynomial, CompiledProvenanceSet
+from repro.provenance.valuation import (
+    Valuation,
+    CompiledPolynomial,
+    CompiledProvenanceSet,
+    FingerprintCache,
+)
 from repro.provenance.parser import parse_polynomial, format_polynomial
 from repro.provenance.semiring import (
     Semiring,
@@ -32,7 +37,11 @@ from repro.provenance.semiring import (
     evaluate_in_semiring,
 )
 from repro.provenance.semimodule import AggregateTerm, AggregateExpression
-from repro.provenance.statistics import ProvenanceStatistics, describe_provenance
+from repro.provenance.statistics import (
+    ProvenanceStatistics,
+    describe_provenance,
+    enumerate_monomial_rows,
+)
 
 __all__ = [
     "Variable",
@@ -43,6 +52,7 @@ __all__ = [
     "Valuation",
     "CompiledPolynomial",
     "CompiledProvenanceSet",
+    "FingerprintCache",
     "parse_polynomial",
     "format_polynomial",
     "Semiring",
@@ -57,4 +67,5 @@ __all__ = [
     "AggregateExpression",
     "ProvenanceStatistics",
     "describe_provenance",
+    "enumerate_monomial_rows",
 ]

@@ -15,6 +15,11 @@ from typing import Dict, List, Tuple
 
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
 
+#: One flattened monomial: (group index, canonical (variable, exponent)
+#: factors, coefficient).  The row-level view of a provenance set shared by
+#: :func:`enumerate_monomial_rows` consumers.
+MonomialRow = Tuple[int, Tuple[Tuple[str, int], ...], float]
+
 
 @dataclass(frozen=True)
 class ProvenanceStatistics:
@@ -95,6 +100,32 @@ class ProvenanceStatistics:
             ),
         ]
         return "\n".join(lines)
+
+
+def enumerate_monomial_rows(
+    provenance: ProvenanceSet,
+) -> Tuple[List[MonomialRow], Dict[str, List[int]]]:
+    """Flatten a provenance set into indexed monomial rows plus an incidence map.
+
+    Returns ``(rows, variable_rows)``: ``rows`` lists every monomial of the
+    set as ``(group_index, factors, coefficient)`` in deterministic order
+    (groups in key-insertion order, terms in canonical monomial order);
+    ``variable_rows`` maps each variable to the ascending row indices whose
+    monomial contains it.  This row-level view is the foundation of the
+    incremental compression kernel's CSR incidence index
+    (:mod:`repro.core.kernel.index`), and is useful on its own whenever an
+    algorithm needs "which monomials does this variable touch?" answered in
+    O(1) after one linear pass.
+    """
+    rows: List[MonomialRow] = []
+    variable_rows: Dict[str, List[int]] = {}
+    for group_index, (_key, polynomial) in enumerate(provenance.items()):
+        for monomial, coefficient in polynomial.terms():
+            row_id = len(rows)
+            rows.append((group_index, monomial.factors, coefficient))
+            for name, _exponent in monomial.factors:
+                variable_rows.setdefault(name, []).append(row_id)
+    return rows, variable_rows
 
 
 def describe_provenance(provenance: ProvenanceSet) -> ProvenanceStatistics:

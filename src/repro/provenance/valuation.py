@@ -15,12 +15,92 @@ This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
 from repro.exceptions import MissingValuationError
 from repro.provenance.polynomial import Number, Polynomial, ProvenanceSet
+
+T = TypeVar("T")
+
+
+class FingerprintCache:
+    """A small LRU cache keyed by content fingerprints.
+
+    Compiling provenance (:class:`CompiledProvenanceSet`) and building the
+    compression kernel's incidence index are both one-linear-pass
+    preprocessing steps worth paying exactly once per distinct provenance
+    set.  Both caches key their entries by
+    :meth:`~repro.provenance.polynomial.ProvenanceSet.fingerprint` (possibly
+    combined with extra structure such as a forest signature); this class
+    centralises the LRU + hit/miss bookkeeping they share.
+    """
+
+    __slots__ = ("_capacity", "_entries", "_hits", "_misses")
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value under ``key`` (marking it most-recently used)."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert ``value`` under ``key``, evicting the least-recently used."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def get_or_build(self, key: Hashable, factory: Callable[[], T]) -> T:
+        """Return the cached value under ``key``, building it on a miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        self._misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def info(self) -> Dict[str, int]:
+        """Hit/miss/size counters (the shape ``BatchEvaluator.cache_info`` reports)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Valuation(Mapping[str, float]):

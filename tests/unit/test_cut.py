@@ -83,6 +83,37 @@ class TestSemantics:
         assert Cut.of(simple_tree, "A", "B") != leaf_cut(simple_tree)
 
 
+class TestTrustedFastPath:
+    """``Cut.trusted`` skips revalidation for internally-derived cuts, while
+    the public constructor must keep rejecting malformed user cuts."""
+
+    def test_trusted_equals_validated(self, simple_tree):
+        trusted = Cut.trusted(simple_tree, ["A", "C", "b1"])
+        assert trusted == Cut.of(simple_tree, "A", "C", "b1")
+        assert hash(trusted) == hash(Cut.of(simple_tree, "A", "C", "b1"))
+        assert trusted.mapping() == Cut.of(simple_tree, "A", "C", "b1").mapping()
+
+    def test_coarsen_uses_fast_path_but_stays_valid(self, simple_tree):
+        coarsened = leaf_cut(simple_tree).coarsen("C").coarsen("B")
+        # Re-validating the derived node set must succeed.
+        assert Cut(simple_tree, coarsened.nodes) == coarsened
+
+    def test_leaf_and_root_cuts_stay_valid(self, simple_tree):
+        assert Cut(simple_tree, leaf_cut(simple_tree).nodes).is_leaf_cut()
+        assert Cut(simple_tree, root_cut(simple_tree).nodes).is_root_cut()
+
+    def test_validating_constructor_still_rejects_malformed_cuts(self, simple_tree):
+        # Regression: the fast path must not weaken the public constructor.
+        with pytest.raises(InvalidCutError):
+            Cut(simple_tree, [])  # empty
+        with pytest.raises(InvalidCutError):
+            Cut(simple_tree, ["A", "C"])  # b1 uncovered
+        with pytest.raises(InvalidCutError):
+            Cut(simple_tree, ["R", "A"])  # a1 covered twice (not an antichain)
+        with pytest.raises(InvalidCutError):
+            Cut(simple_tree, ["A", "B", "zzz"])  # unknown node
+
+
 class TestEnumeration:
     def test_enumerate_simple_tree(self, simple_tree):
         cuts = list(enumerate_cuts(simple_tree))
