@@ -24,18 +24,21 @@ from repro.exceptions import (
     UnsupportedPolynomialError,
 )
 from repro.provenance import (
+    SEMIRING_BACKEND_NAMES,
     CompiledPolynomial,
     CompiledProvenanceSet,
     Monomial,
     Polynomial,
     ProvenanceSet,
     ProvenanceStatistics,
+    SemiringBackend,
     Valuation,
     Variable,
     VariableRegistry,
     describe_provenance,
     parse_polynomial,
     format_polynomial,
+    resolve_backend,
 )
 from repro.core import (
     Abstraction,
@@ -86,6 +89,9 @@ __all__ = [
     "describe_provenance",
     "parse_polynomial",
     "format_polynomial",
+    "SemiringBackend",
+    "resolve_backend",
+    "SEMIRING_BACKEND_NAMES",
     "compute_size_profile",
     "Abstraction",
     "AbstractionForest",

@@ -18,7 +18,9 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Unio
 import numpy as np
 
 from repro.core.compression import Abstraction, Compressor
+from repro.core.defaults import default_meta_valuation
 from repro.engine.scenario import Scenario
+from repro.provenance.backends import BackendLike, resolve_backend
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.valuation import (
     CompiledProvenanceSet,
@@ -42,6 +44,7 @@ def lower_meta_matrix(
     batch: ScenarioBatch,
     matrix: np.ndarray,
     meta_variables: Sequence[str],
+    fill: float = 1.0,
 ) -> np.ndarray:
     """Lower a scenarios × originals matrix to the compressed variable space.
 
@@ -50,12 +53,17 @@ def lower_meta_matrix(
     ``default_meta_valuation(reducer="mean", on_missing="skip")``: the mean of
     the scenario values of the meta-variable's members that occur in the
     universe, the scenario value itself for originals the abstraction leaves
-    untouched, and 1.0 otherwise.
+    untouched, and ``fill`` (the backend's identity fill, 1.0 on the float
+    pipeline) otherwise.  The mean lowering is shared by every numeric
+    backend: it is the paper's default for real and tropical values, and for
+    0/1 Boolean columns it is non-zero exactly when the disjunction is.
     """
     grouped = abstraction.grouped_variables()
     mapped = set(abstraction.mapping)
     universe = set(batch.variables)
-    result = np.ones((matrix.shape[0], len(meta_variables)), dtype=np.float64)
+    result = np.full(
+        (matrix.shape[0], len(meta_variables)), fill, dtype=np.float64
+    )
     for j, variable in enumerate(meta_variables):
         members = grouped.get(variable)
         if members is not None:
@@ -106,10 +114,17 @@ class BatchEvaluator:
 
     # -- compiled-provenance cache -------------------------------------------
 
-    def compile(self, provenance: ProvenanceSet) -> CompiledProvenanceSet:
-        """The compiled form of ``provenance``, cached by content fingerprint."""
+    def compile(self, provenance: ProvenanceSet, semiring: "BackendLike" = None):
+        """The compiled form of ``provenance``, cached by content fingerprint.
+
+        The cache is keyed by ``(fingerprint, backend name)``, so the same
+        provenance compiled for several semirings coexists; the default is
+        the real backend, whose compiled form is ``CompiledProvenanceSet``.
+        """
+        backend = resolve_backend(semiring)
         return self._compiled.get_or_build(
-            provenance.fingerprint(), lambda: CompiledProvenanceSet(provenance)
+            (provenance.fingerprint(), backend.name),
+            lambda: backend.compile(provenance),
         )
 
     def cache_info(self) -> Dict[str, int]:
@@ -163,6 +178,7 @@ class BatchEvaluator:
         base_valuation: Optional[Mapping[str, float]] = None,
         compressed: Optional[ProvenanceSet] = None,
         abstraction: Optional[Abstraction] = None,
+        semiring: BackendLike = None,
     ) -> BatchReport:
         """Evaluate ``scenarios`` against ``provenance`` in one vectorised pass.
 
@@ -170,20 +186,35 @@ class BatchEvaluator:
         evaluated against the compressed provenance (per-scenario
         meta-variable values derived as member means), so the report carries
         the abstraction-induced error across the whole sweep.
+
+        ``semiring`` selects the evaluation backend: numeric backends (real,
+        tropical, bool) take the chunked matrix path; set-valued backends
+        fall back to a per-scenario Python loop over the generic evaluator,
+        producing object-valued result matrices with backend-defined deltas.
         """
         if (compressed is None) != (abstraction is None):
             raise ValueError(
                 "compressed and abstraction must be provided together"
             )
-        base = Valuation(dict(base_valuation)) if base_valuation else Valuation()
+        backend = resolve_backend(semiring)
+        if not backend.is_numeric:
+            return self._evaluate_generic(
+                provenance, scenarios, base_valuation, compressed, abstraction, backend
+            )
+        fill = getattr(backend, "numeric_fill", 1.0)
+        base = (
+            Valuation(dict(base_valuation), semiring=backend)
+            if base_valuation
+            else Valuation(semiring=backend)
+        )
         universe = set(provenance.variables()) | set(base)
         batch = ScenarioBatch(scenarios, universe)
-        matrix = batch.valuation_matrix(base)
+        matrix = batch.valuation_matrix(base, fill=fill)
 
-        compiled_full = self.compile(provenance)
+        compiled_full = self.compile(provenance, backend)
         full_columns = batch.columns_for(compiled_full.variables)
         base_row = np.array(
-            [float(base.get(name, 1.0)) for name in compiled_full.variables],
+            [float(base.get(name, fill)) for name in compiled_full.variables],
             dtype=np.float64,
         )
         baseline = compiled_full.evaluate_matrix(base_row[np.newaxis, :])[0]
@@ -192,16 +223,17 @@ class BatchEvaluator:
         compressed_results = None
         compressed_size = None
         if compressed is not None and abstraction is not None:
-            compiled_compressed = self.compile(compressed)
+            compiled_compressed = self.compile(compressed, backend)
             meta_matrix = lower_meta_matrix(
-                abstraction, batch, matrix, compiled_compressed.variables
+                abstraction, batch, matrix, compiled_compressed.variables, fill=fill
             )
             meta_rows = self.evaluate_matrix(compiled_compressed, meta_matrix)
             # Align the compressed columns with the full provenance's keys;
-            # groups absent from the compressed set evaluate to 0.0, as in
-            # the interactive report.
+            # groups absent from the compressed set evaluate to the semiring
+            # zero, as in the interactive report.
             key_column = {key: i for i, key in enumerate(compiled_compressed.keys)}
-            compressed_results = np.zeros_like(full_results)
+            zero = float(backend.semiring.zero)
+            compressed_results = np.full_like(full_results, zero)
             for j, key in enumerate(compiled_full.keys):
                 column = key_column.get(key)
                 if column is not None:
@@ -216,6 +248,78 @@ class BatchEvaluator:
             compressed_results=compressed_results,
             full_size=provenance.size(),
             compressed_size=compressed_size,
+            semiring=backend.name,
+        )
+
+    def _evaluate_generic(
+        self,
+        provenance: ProvenanceSet,
+        scenarios: Sequence[Scenario],
+        base_valuation: Optional[Mapping[str, float]],
+        compressed: Optional[ProvenanceSet],
+        abstraction: Optional[Abstraction],
+        backend,
+    ) -> BatchReport:
+        """The pure-Python fallback for set-valued semirings (Why, Lineage)."""
+        base = (
+            Valuation(dict(base_valuation), semiring=backend)
+            if base_valuation
+            else Valuation(semiring=backend)
+        )
+        universe = tuple(sorted(set(provenance.variables()) | set(base)))
+        base = base.updated(
+            {
+                name: backend.default_value(name)
+                for name in universe
+                if name not in base
+            }
+        )
+        compiled_full = self.compile(provenance, backend)
+        compiled_compressed = None
+        if compressed is not None and abstraction is not None:
+            compiled_compressed = self.compile(compressed, backend)
+
+        keys = compiled_full.keys
+        names = tuple(scenario.name for scenario in scenarios)
+        baseline_map = compiled_full.evaluate(base)
+        baseline = np.empty(len(keys), dtype=object)
+        for j, key in enumerate(keys):
+            baseline[j] = baseline_map[key]
+
+        zero = backend.semiring.zero
+        full_results = np.empty((len(scenarios), len(keys)), dtype=object)
+        compressed_results = (
+            np.empty((len(scenarios), len(keys)), dtype=object)
+            if compiled_compressed is not None
+            else None
+        )
+        for i, scenario in enumerate(scenarios):
+            valuation = scenario.apply(base, universe)
+            row = compiled_full.evaluate(valuation)
+            for j, key in enumerate(keys):
+                full_results[i, j] = row[key]
+            if compiled_compressed is not None:
+                meta_valuation = default_meta_valuation(
+                    abstraction, valuation, on_missing="skip", semiring=backend
+                )
+                missing = meta_valuation.missing(compiled_compressed.variables)
+                if missing:
+                    meta_valuation = meta_valuation.updated(
+                        {name: backend.default_value(name) for name in missing}
+                    )
+                compressed_row = compiled_compressed.evaluate(meta_valuation)
+                for j, key in enumerate(keys):
+                    compressed_results[i, j] = compressed_row.get(key, zero)
+
+        return BatchReport(
+            scenario_names=names,
+            keys=keys,
+            baseline=baseline,
+            full_results=full_results,
+            compressed_results=compressed_results,
+            full_size=provenance.size(),
+            compressed_size=compressed.size() if compressed is not None else None,
+            semiring=backend.name,
         )
 
     def compress_and_evaluate(
@@ -227,6 +331,7 @@ class BatchEvaluator:
         base_valuation: Optional[Mapping[str, float]] = None,
         strategy: str = "incremental",
         allow_infeasible: bool = False,
+        semiring: BackendLike = None,
     ) -> Tuple[BatchReport, "OptimizationResult"]:
         """Compress under ``bound`` and evaluate ``scenarios`` in one call.
 
@@ -251,5 +356,6 @@ class BatchEvaluator:
             base_valuation=base_valuation,
             compressed=result.compressed,
             abstraction=result.abstraction,
+            semiring=semiring,
         )
         return report, result

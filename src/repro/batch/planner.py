@@ -76,18 +76,20 @@ class ScenarioBatch:
     # -- lowering -----------------------------------------------------------
 
     def valuation_matrix(
-        self, base: Optional[Mapping[str, float]] = None
+        self, base: Optional[Mapping[str, float]] = None, fill: float = 1.0
     ) -> np.ndarray:
         """The ``scenarios × variables`` matrix of hypothetical valuations.
 
         Row *s* equals ``scenarios[s].apply(base, variables)`` restricted to
-        the universe, with variables missing from ``base`` defaulting to 1.0
-        (the identity valuation, as everywhere else in the engine).
+        the universe, with variables missing from ``base`` defaulting to
+        ``fill`` — 1.0 (the identity valuation) on the float pipeline, the
+        backend's identity fill for other numeric semirings (e.g. 0.0 added
+        cost in the tropical backend).
         """
         if base is None:
-            base = Valuation.uniform(self._variables, 1.0)
+            base = Valuation.uniform(self._variables, fill)
         base_row = np.array(
-            [float(base.get(name, 1.0)) for name in self._variables],
+            [float(base.get(name, fill)) for name in self._variables],
             dtype=np.float64,
         )
         matrix = np.tile(base_row, (len(self._scenarios), 1))

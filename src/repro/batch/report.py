@@ -31,7 +31,10 @@ class ScenarioOutcome:
         """A JSON-friendly rendering (keys joined with ``/``)."""
         return {
             "name": self.name,
-            "results": {"/".join(map(str, k)): v for k, v in self.results.items()},
+            "results": {
+                "/".join(map(str, k)): v if isinstance(v, (int, float)) else str(v)
+                for k, v in self.results.items()
+            },
             "total_delta": self.total_delta,
             "max_absolute_error": self.max_absolute_error,
             "mean_absolute_error": self.mean_absolute_error,
@@ -60,6 +63,12 @@ class BatchReport:
     full_size / compressed_size:
         Provenance sizes in monomials (``compressed_size`` is ``None``
         without an abstraction).
+    semiring:
+        The evaluation backend's name.  Numeric backends (``real``,
+        ``tropical``, ``bool``) store float matrices; set-valued backends
+        (``why``, ``lineage``) store object matrices of semiring values, and
+        the delta/error matrices below are derived through the backend's
+        error measure (symmetric-difference cardinality).
     """
 
     scenario_names: Tuple[str, ...]
@@ -69,16 +78,58 @@ class BatchReport:
     compressed_results: Optional[np.ndarray] = None
     full_size: int = 0
     compressed_size: Optional[int] = None
+    semiring: str = "real"
 
     def __len__(self) -> int:
         return len(self.scenario_names)
+
+    def _backend(self):
+        from repro.provenance.backends import resolve_backend
+
+        return resolve_backend(self.semiring)
+
+    def _is_object_valued(self) -> bool:
+        return self.full_results.dtype == object
+
+    def _elementwise(self, func, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Map a binary backend function over object-valued result matrices.
+
+        ``left`` may be the 1-D baseline (broadcast along rows) or a matrix
+        of ``right``'s shape.
+        """
+        result = np.zeros(right.shape, dtype=np.float64)
+        for index in np.ndindex(right.shape):
+            result[index] = func(left[index[-1]] if left.ndim == 1 else left[index],
+                                 right[index])
+        return result
+
+    def _map_magnitudes(self, values: np.ndarray) -> np.ndarray:
+        backend = self._backend()
+        result = np.zeros(values.shape, dtype=np.float64)
+        for index in np.ndindex(values.shape):
+            result[index] = backend.magnitude(values[index])
+        return result
 
     # -- derived matrices ---------------------------------------------------
 
     @property
     def deltas(self) -> np.ndarray:
-        """Per-scenario, per-group change from the baseline (full provenance)."""
-        return self.full_results - self.baseline[np.newaxis, :]
+        """Per-scenario, per-group change from the baseline (full provenance).
+
+        Signed float differences for numeric semirings; for set-valued ones
+        the backend's distance from the baseline (always non-negative).
+        """
+        if self._is_object_valued():
+            return self._elementwise(
+                self._backend().delta, self.baseline, self.full_results
+            )
+        base = self.baseline[np.newaxis, :]
+        with np.errstate(invalid="ignore"):
+            deltas = self.full_results - base
+        # Equal entries are zero change even at infinity (a tropical group
+        # unreachable in both evaluations would otherwise yield inf - inf
+        # = NaN and poison total_delta and the scenario ranking).
+        return np.where(self.full_results == base, 0.0, deltas)
 
     @property
     def total_deltas(self) -> np.ndarray:
@@ -87,10 +138,20 @@ class BatchReport:
 
     @property
     def absolute_errors(self) -> Optional[np.ndarray]:
-        """``|full - compressed|`` per scenario and group, if compressed ran."""
+        """``|full - compressed|`` per scenario and group, if compressed ran.
+
+        Per the backend's error measure: numeric deltas for numeric
+        semirings, symmetric-difference cardinality for set-valued ones.
+        """
         if self.compressed_results is None:
             return None
-        return np.abs(self.full_results - self.compressed_results)
+        if self._is_object_valued():
+            return self._elementwise(
+                self._backend().error, self.full_results, self.compressed_results
+            )
+        with np.errstate(invalid="ignore"):
+            errors = np.abs(self.full_results - self.compressed_results)
+        return np.where(self.full_results == self.compressed_results, 0.0, errors)
 
     @property
     def max_absolute_error(self) -> float:
@@ -114,9 +175,19 @@ class BatchReport:
         errors = self.absolute_errors
         if errors is None or errors.size == 0:
             return 0.0
-        scale = np.abs(self.full_results)
+        if self._is_object_valued():
+            scale = self._map_magnitudes(self.full_results)
+        else:
+            scale = np.abs(self.full_results)
+        # Epsilon-clamped denominator: a corrupted zero-valued full result
+        # is reported as a (large) relative error, never silently skipped;
+        # corruption of an infinite-scale group reports inf, not inf/inf.
+        from repro.core.metrics import ZERO_BASELINE_EPSILON
+
         with np.errstate(divide="ignore", invalid="ignore"):
-            relative = np.where(scale < 1e-12, 0.0, errors / scale)
+            relative = errors / np.maximum(scale, ZERO_BASELINE_EPSILON)
+        relative = np.where(errors == 0.0, 0.0, relative)
+        relative = np.where(np.isnan(relative), np.inf, relative)
         return float(relative.max())
 
     # -- per-scenario views -------------------------------------------------
@@ -126,10 +197,16 @@ class BatchReport:
         row = self.full_results[index]
         delta_row = self.deltas[index]
         errors = self.absolute_errors
-        error_row = errors[index] if errors is not None else np.zeros_like(row)
+        error_row = (
+            errors[index] if errors is not None else np.zeros(len(row), dtype=np.float64)
+        )
+        if self._is_object_valued():
+            results = {key: row[i] for i, key in enumerate(self.keys)}
+        else:
+            results = {key: float(row[i]) for i, key in enumerate(self.keys)}
         return ScenarioOutcome(
             name=self.scenario_names[index],
-            results={key: float(row[i]) for i, key in enumerate(self.keys)},
+            results=results,
             deltas={key: float(delta_row[i]) for i, key in enumerate(self.keys)},
             total_delta=float(delta_row.sum()),
             max_absolute_error=float(error_row.max()) if error_row.size else 0.0,
@@ -154,6 +231,7 @@ class BatchReport:
         return {
             "scenarios": len(self),
             "groups": len(self.keys),
+            "semiring": self.semiring,
             "full_size": self.full_size,
             "compressed_size": self.compressed_size,
             "max_absolute_error": self.max_absolute_error,
@@ -164,9 +242,10 @@ class BatchReport:
     def render_text(self, max_rows: int = 10) -> str:
         """A human-readable sweep table (scenarios ranked by |total delta|)."""
         lines: List[str] = []
+        suffix = "" if self.semiring == "real" else f", semiring: {self.semiring}"
         lines.append(
             f"{len(self)} scenarios x {len(self.keys)} result groups "
-            f"(full provenance: {self.full_size} monomials)"
+            f"(full provenance: {self.full_size} monomials{suffix})"
         )
         if self.compressed_results is not None:
             lines.append(

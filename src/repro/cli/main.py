@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 from repro.core.abstraction_tree import AbstractionTree
 from repro.engine.scenario import Scenario
 from repro.engine.session import CobraSession
+from repro.provenance.backends import SEMIRING_BACKEND_NAMES, resolve_backend
 from repro.provenance.serialization import (
     load_provenance_set,
     provenance_set_to_dict,
@@ -61,8 +62,11 @@ def run_demo(args: argparse.Namespace) -> int:
     """The Figure 1 / Example 2 walk-through."""
     provenance = example2_provenance()
     tree = plans_tree()
+    backend = resolve_backend(getattr(args, "semiring", None))
 
     _print("== COBRA demo: the telephony running example ==")
+    if backend.name != "real":
+        _print(f"   (evaluating in the {backend.name} semiring)")
     _print()
     _print("Provenance polynomials (Example 2):")
     for key, polynomial in provenance.items():
@@ -72,7 +76,7 @@ def run_demo(args: argparse.Namespace) -> int:
     _print(tree.to_ascii())
     _print()
 
-    session = CobraSession(provenance)
+    session = CobraSession(provenance, semiring=backend)
     session.set_abstraction_trees(tree)
     session.set_bound(args.bound)
     result = session.compress(keep_trace=True)
@@ -91,17 +95,27 @@ def run_demo(args: argparse.Namespace) -> int:
 
     _print("Meta-variable panel (defaults are member averages):")
     for row in session.meta_variable_panel():
-        _print(
-            f"  {row.name:<10} members={list(row.members)} "
-            f"default={row.default_value:g}"
+        default = (
+            f"{row.default_value:g}"
+            if backend.name == "real"
+            else backend.format_value(row.default_value)
         )
+        _print(f"  {row.name:<10} members={list(row.members)} default={default}")
     _print()
 
-    scenario = Scenario(
-        "March discount", "decrease all prices by 20% in March"
-    ).scale(lambda name: name == "m3", 0.8)
+    if backend.name in ("real", "tropical"):
+        scenario = Scenario(
+            "March discount", "decrease all prices by 20% in March"
+        ).scale(lambda name: name == "m3", 0.8)
+        _print("Scenario: decrease the ppm of all plans by 20% in March (m3 x 0.8)")
+    else:
+        # Multiplicative discounts are meaningless for set-like semirings;
+        # the classic what-if there is deletion: drop the March tuples.
+        scenario = Scenario(
+            "March deleted", "what if the March price rows were not there?"
+        ).set_value(lambda name: name == "m3", 0)
+        _print("Scenario: delete the March price tuples (m3 := 0)")
     report = session.assign_scenario(scenario)
-    _print("Scenario: decrease the ppm of all plans by 20% in March (m3 x 0.8)")
     _print(report.render_text())
     return 0
 
@@ -229,6 +243,87 @@ def run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_whatif(args: argparse.Namespace) -> int:
+    """End-to-end what-if reasoning in any semiring backend.
+
+    Picks the workload the chosen semiring is made for: min-cost call
+    routing for ``tropical`` (and ``real``, where the same provenance sums
+    costs), tuple-deletion/access-control on TPC-H for ``bool``, and
+    witness/lineage analysis of the running example for ``why``/``lineage``.
+    """
+    from repro.workloads.routing import (
+        RoutingConfig,
+        generate_routing_provenance,
+        routing_base_costs,
+        routing_scenario_sweep,
+        trunk_group_tree,
+    )
+    from repro.workloads.tpch_queries import (
+        tpch_deletion_provenance,
+        tpch_deletion_scenarios,
+    )
+
+    backend = resolve_backend(args.semiring)
+    base_valuation = None
+    if backend.name in ("real", "tropical"):
+        config = RoutingConfig()
+        provenance = generate_routing_provenance(config)
+        trees = trunk_group_tree(config)
+        scenarios = routing_scenario_sweep(args.scenarios, config)
+        base_valuation = routing_base_costs(config).as_dict()
+        workload = "min-cost call routing (trunk costs per route)"
+    elif backend.name == "bool":
+        catalog = generate_tpch_catalog(TpchConfig(scale=args.scale))
+        item = tpch_deletion_provenance(catalog)
+        provenance, trees = item.provenance, item.trees
+        scenarios = tpch_deletion_scenarios(catalog, args.scenarios)
+        workload = "TPC-H segment revenue under customer deletions"
+    else:
+        provenance = example2_provenance()
+        trees = plans_tree()
+        deletable = sorted(provenance.variables())
+        scenarios = [
+            Scenario(f"#{i} delete {name}").set_value([name], 0)
+            for i, name in enumerate(deletable[: args.scenarios])
+        ]
+        workload = "witness analysis of the running example (tuple deletions)"
+
+    _print(f"== what-if analysis in the {backend.name} semiring ==")
+    _print(f"workload: {workload}")
+    _print(
+        f"provenance: {provenance.size()} monomials, "
+        f"{provenance.num_variables()} variables, {len(provenance)} groups"
+    )
+    _print()
+
+    session = CobraSession(provenance, base_valuation, semiring=backend)
+    initial = session.initial_results()
+    _print("initial results (identity valuation):")
+    for key, value in list(initial.items())[: args.top]:
+        _print(f"  {', '.join(map(str, key)):<20} {backend.format_value(value, 40)}")
+    if len(initial) > args.top:
+        _print(f"  ... ({len(initial) - args.top} more groups)")
+    _print()
+
+    session.set_abstraction_trees(trees)
+    bound = args.bound if args.bound is not None else max(1, provenance.size() // 2)
+    session.set_bound(bound)
+    result = session.compress(allow_infeasible=True)
+    _print(
+        f"compressed under bound {bound}: {result.achieved_size} monomials, "
+        f"{result.num_variables} variables (feasible={result.feasible})"
+    )
+    _print()
+
+    report = session.evaluate_many(scenarios)
+    _print(report.render_text(max_rows=args.top))
+    _print()
+    first = session.assign_scenario(scenarios[0], measure_assignment_speedup=False)
+    _print(f"scenario detail: {scenarios[0].name}")
+    _print(first.render_text(max_groups=args.top))
+    return 0
+
+
 def run_stats(args: argparse.Namespace) -> int:
     """Describe a provenance JSON file and (optionally) its size profile."""
     from repro.core.optimizer import compute_size_profile
@@ -306,6 +401,15 @@ def _positive_int(text: str) -> int:
 _STRATEGY_CHOICES = ("auto", "incremental", "legacy", "greedy", "dp", "exact")
 
 
+def _add_semiring_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--semiring",
+        choices=SEMIRING_BACKEND_NAMES,
+        default="real",
+        help="evaluation backend / semiring (default: real, the float pipeline)",
+    )
+
+
 def _add_strategy_argument(parser: argparse.ArgumentParser, default: str) -> None:
     parser.add_argument(
         "--strategy",
@@ -326,7 +430,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="run the Figure 1 running example")
     demo.add_argument("--bound", type=int, default=4, help="monomial bound")
+    _add_semiring_argument(demo)
     demo.set_defaults(func=run_demo)
+
+    whatif = subparsers.add_parser(
+        "whatif",
+        help="end-to-end what-if reasoning in any semiring backend "
+        "(tropical routing costs, Boolean deletions, Why witnesses, ...)",
+    )
+    _add_semiring_argument(whatif)
+    whatif.add_argument("--scenarios", type=_positive_int, default=12, help="sweep size")
+    whatif.add_argument(
+        "--bound", type=int, default=None,
+        help="monomial bound (default: half the provenance size)",
+    )
+    whatif.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor (bool backend's workload)",
+    )
+    whatif.add_argument("--top", type=int, default=8, help="rows to print")
+    whatif.set_defaults(func=run_whatif)
 
     telephony = subparsers.add_parser(
         "telephony", help="run the Section 4 scale experiment"

@@ -52,6 +52,7 @@ from repro.core.metrics import (
     provenance_size,
     num_variables,
     compression_ratio,
+    compute_error_metrics,
     variable_retention,
     result_distortion,
 )
@@ -83,4 +84,5 @@ __all__ = [
     "compression_ratio",
     "variable_retention",
     "result_distortion",
+    "compute_error_metrics",
 ]

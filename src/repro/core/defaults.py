@@ -35,7 +35,8 @@ def default_meta_valuation(
     reducer: Reducer = "mean",
     provenance: Optional[ProvenanceSet] = None,
     on_missing: str = "error",
-    fallback: float = 1.0,
+    fallback: Optional[float] = None,
+    semiring: Optional[object] = None,
 ) -> Valuation:
     """Derive the default valuation of the abstracted provenance's variables.
 
@@ -60,7 +61,14 @@ def default_meta_valuation(
         mentions variables that never occur in the provenance.
     fallback:
         The value used for a meta-variable whose members are all missing
-        (only with ``on_missing="skip"``).
+        (only with ``on_missing="skip"``).  Defaults to 1.0 for the float
+        pipeline and to each variable's backend identity otherwise.
+    semiring:
+        A semiring backend (name, semiring instance or backend).  With a
+        non-real backend, member values are combined by the backend's
+        ``reduce_members`` (the semiring sum for set-valued backends, where
+        "mean" has no meaning) and the returned valuation is typed by that
+        semiring; ``reducer`` only applies to the float pipeline.
 
     Returns
     -------
@@ -71,6 +79,25 @@ def default_meta_valuation(
     """
     if on_missing not in ("error", "skip"):
         raise AbstractionError(f"unknown on_missing policy {on_missing!r}")
+    backend = None
+    if semiring is None and isinstance(original_valuation, Valuation):
+        semiring = (
+            None
+            if original_valuation.semiring_name == "real"
+            else original_valuation.backend
+        )
+    if semiring is not None:
+        from repro.provenance.backends import resolve_backend
+
+        backend = resolve_backend(semiring)
+        if backend.name == "real":
+            backend = None
+    if backend is not None:
+        return _backend_meta_valuation(
+            abstraction, original_valuation, backend, on_missing, fallback
+        )
+    if fallback is None:
+        fallback = 1.0
     grouped = abstraction.grouped_variables()
 
     weights: Dict[str, float] = {}
@@ -121,3 +148,37 @@ def default_meta_valuation(
         if name not in mapped and name not in values:
             values[name] = float(value)
     return Valuation(values)
+
+
+def _backend_meta_valuation(
+    abstraction: Abstraction,
+    original_valuation: Mapping[str, object],
+    backend,
+    on_missing: str,
+    fallback: Optional[object],
+) -> Valuation:
+    """The non-real-backend branch: member values combined per the backend."""
+    values: Dict[str, object] = {}
+    for meta, variables in abstraction.grouped_variables().items():
+        member_values = []
+        for variable in variables:
+            if variable not in original_valuation:
+                if on_missing == "skip":
+                    continue
+                raise AbstractionError(
+                    f"original valuation is missing variable {variable!r} "
+                    f"grouped under {meta!r}"
+                )
+            member_values.append(original_valuation[variable])
+        if member_values:
+            values[meta] = backend.reduce_members(member_values)
+        elif fallback is not None:
+            values[meta] = fallback
+        else:
+            values[meta] = backend.default_value(meta)
+
+    mapped = set(abstraction.mapping)
+    for name, value in original_valuation.items():
+        if name not in mapped and name not in values:
+            values[name] = value
+    return Valuation(values, semiring=backend)

@@ -8,11 +8,17 @@ those computed from the full provenance.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+import math
+from typing import Dict, Mapping, Optional, Union
 
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
 
 ProvenanceLike = Union[Polynomial, ProvenanceSet]
+
+#: Relative errors are measured against ``max(|full|, EPSILON)`` so that a
+#: compression corrupting a zero-valued result still reports a (large)
+#: relative error instead of silently dropping the group.
+ZERO_BASELINE_EPSILON = 1e-9
 
 
 def provenance_size(provenance: ProvenanceLike) -> int:
@@ -45,34 +51,49 @@ def variable_retention(original: ProvenanceLike, compressed: ProvenanceLike) -> 
     return num_variables(compressed) / original_vars
 
 
-def result_distortion(
-    full: ProvenanceSet,
-    compressed: ProvenanceSet,
-    full_valuation: Mapping[str, float],
-    compressed_valuation: Mapping[str, float],
+def compute_error_metrics(
+    full_results: Mapping,
+    compressed_results: Mapping,
+    semiring: Optional[object] = None,
+    epsilon: float = ZERO_BASELINE_EPSILON,
 ) -> Dict[str, float]:
-    """Compare per-group results of the full and the compressed provenance.
+    """Summarise per-group abstraction error between two result mappings.
 
-    Both provenance sets are evaluated under their respective valuations
-    (the compressed one typically under the meta-variable defaults of
-    :func:`repro.core.defaults.default_meta_valuation`) and the per-group
-    differences are summarised.
+    The error measure is defined by the semiring backend: numeric deltas for
+    numeric backends (real, tropical, Boolean), symmetric-difference
+    cardinality for the set-valued ones (Why, Lineage).  Relative errors are
+    measured against an epsilon-clamped magnitude of the full result, so a
+    compression that corrupts a zero-valued result reports a non-zero
+    ``max_rel_error`` instead of being silently skipped; the number of such
+    (near-)zero baselines is reported as ``zero_baseline_count``.
 
-    Returns a dictionary with ``max_abs_error``, ``mean_abs_error``,
-    ``max_rel_error`` and ``mean_rel_error`` (relative errors are measured
-    against the full result, skipping groups whose full result is 0).
+    Groups missing from ``compressed_results`` compare against the
+    semiring's zero, matching the interactive report's convention.
     """
-    full_results = full.evaluate(full_valuation)
-    compressed_results = compressed.evaluate(compressed_valuation)
+    from repro.provenance.backends import resolve_backend
+
+    backend = resolve_backend(semiring)
+    zero = backend.semiring.zero
 
     abs_errors = []
     rel_errors = []
+    zero_baselines = 0
     for key, full_value in full_results.items():
-        compressed_value = compressed_results.get(key, 0.0)
-        error = abs(full_value - compressed_value)
+        compressed_value = compressed_results.get(key, zero)
+        error = backend.error(full_value, compressed_value)
         abs_errors.append(error)
-        if abs(full_value) > 1e-12:
-            rel_errors.append(error / abs(full_value))
+        scale = backend.magnitude(full_value)
+        if scale <= epsilon:
+            zero_baselines += 1
+        if error == 0.0:
+            rel_errors.append(0.0)
+        elif not math.isfinite(scale):
+            # e.g. a tropical group that is unreachable (inf) in the full
+            # provenance but reachable after compression: a severe
+            # corruption, reported as inf rather than inf/inf = NaN.
+            rel_errors.append(float("inf"))
+        else:
+            rel_errors.append(error / max(scale, epsilon))
 
     if not abs_errors:
         return {
@@ -80,10 +101,46 @@ def result_distortion(
             "mean_abs_error": 0.0,
             "max_rel_error": 0.0,
             "mean_rel_error": 0.0,
+            "zero_baseline_count": 0,
         }
     return {
         "max_abs_error": max(abs_errors),
         "mean_abs_error": sum(abs_errors) / len(abs_errors),
-        "max_rel_error": max(rel_errors) if rel_errors else 0.0,
-        "mean_rel_error": (sum(rel_errors) / len(rel_errors)) if rel_errors else 0.0,
+        "max_rel_error": max(rel_errors),
+        "mean_rel_error": sum(rel_errors) / len(rel_errors),
+        "zero_baseline_count": zero_baselines,
     }
+
+
+def result_distortion(
+    full: ProvenanceSet,
+    compressed: ProvenanceSet,
+    full_valuation: Mapping[str, float],
+    compressed_valuation: Mapping[str, float],
+    semiring: Optional[object] = None,
+) -> Dict[str, float]:
+    """Compare per-group results of the full and the compressed provenance.
+
+    Both provenance sets are evaluated under their respective valuations
+    (the compressed one typically under the meta-variable defaults of
+    :func:`repro.core.defaults.default_meta_valuation`) in the backend named
+    by ``semiring`` (the float pipeline by default) and the per-group
+    differences are summarised by :func:`compute_error_metrics`.
+
+    Returns a dictionary with ``max_abs_error``, ``mean_abs_error``,
+    ``max_rel_error``, ``mean_rel_error`` and ``zero_baseline_count``
+    (relative errors are measured against an epsilon-clamped magnitude of
+    the full result, so corrupted zero-valued groups are *not* skipped).
+    """
+    from repro.provenance.backends import resolve_backend
+
+    backend = resolve_backend(semiring)
+    if backend.name == "real":
+        full_results = full.evaluate(full_valuation)
+        compressed_results = compressed.evaluate(compressed_valuation)
+    else:
+        full_results = backend.compile(full).evaluate(full_valuation)
+        compressed_results = backend.compile(compressed).evaluate(
+            compressed_valuation
+        )
+    return compute_error_metrics(full_results, compressed_results, semiring=backend)

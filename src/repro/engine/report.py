@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.metrics import ZERO_BASELINE_EPSILON
 from repro.utils.timing import SpeedupMeasurement
 
 
@@ -51,29 +52,58 @@ class MetaVariableInfo:
 
 @dataclass(frozen=True)
 class GroupComparison:
-    """Full-vs-compressed result for one result group (one output tuple)."""
+    """Full-vs-compressed result for one result group (one output tuple).
+
+    With a non-real ``semiring``, the result fields hold values of that
+    semiring's carrier (e.g. witness sets) and the error/delta measures are
+    the backend's — symmetric-difference cardinality for set-valued
+    semirings, numeric deltas otherwise.
+    """
 
     key: Tuple
-    baseline: float
-    full_result: float
-    compressed_result: float
+    baseline: object
+    full_result: object
+    compressed_result: object
+    semiring: str = "real"
+
+    def _backend(self):
+        from repro.provenance.backends import resolve_backend
+
+        return resolve_backend(self.semiring)
 
     @property
     def absolute_error(self) -> float:
-        """``|full - compressed|``."""
-        return abs(self.full_result - self.compressed_result)
+        """``|full - compressed|`` per the semiring's error measure."""
+        if self.semiring == "real":
+            return abs(self.full_result - self.compressed_result)
+        return self._backend().error(self.full_result, self.compressed_result)
 
     @property
     def relative_error(self) -> float:
-        """Absolute error relative to the full result (0 when the full result is 0)."""
-        if abs(self.full_result) < 1e-12:
+        """Absolute error relative to the full result's magnitude.
+
+        The denominator is epsilon-clamped (``ZERO_BASELINE_EPSILON``), so a
+        compression that fabricates a value where the full result is 0 is
+        reported as a (large) relative error rather than silently skipped —
+        the same convention as ``compute_error_metrics``.
+        """
+        error = self.absolute_error
+        if error == 0.0:
             return 0.0
-        return self.absolute_error / abs(self.full_result)
+        if self.semiring == "real":
+            magnitude = abs(self.full_result)
+        else:
+            magnitude = self._backend().magnitude(self.full_result)
+        if magnitude == float("inf"):
+            return float("inf")
+        return error / max(magnitude, ZERO_BASELINE_EPSILON)
 
     @property
     def change_from_baseline(self) -> float:
         """How much the hypothetical changed the result, per the full provenance."""
-        return self.full_result - self.baseline
+        if self.semiring == "real":
+            return self.full_result - self.baseline
+        return self._backend().delta(self.baseline, self.full_result)
 
 
 @dataclass(frozen=True)
@@ -98,6 +128,7 @@ class AssignmentReport:
     full_variables: int
     compressed_variables: int
     speedup: Optional[SpeedupMeasurement] = None
+    semiring: str = "real"
 
     # -- aggregate error measures ------------------------------------------------
 
@@ -143,6 +174,7 @@ class AssignmentReport:
         """A flat dictionary of the headline numbers (for benchmarks/JSON)."""
         return {
             "groups": len(self.groups),
+            "semiring": self.semiring,
             "full_size": self.full_size,
             "compressed_size": self.compressed_size,
             "compression_ratio": self.compression_ratio,
@@ -158,6 +190,8 @@ class AssignmentReport:
     def render_text(self, max_groups: int = 10) -> str:
         """A human-readable rendering for the CLI (at most ``max_groups`` rows)."""
         lines: List[str] = []
+        if self.semiring != "real":
+            lines.append(f"semiring: {self.semiring}")
         lines.append(
             f"provenance size: {self.full_size} -> {self.compressed_size} "
             f"({self.compression_ratio:.1%} of original)"
@@ -179,11 +213,19 @@ class AssignmentReport:
         header = f"{'group':<20} {'baseline':>14} {'full':>14} {'compressed':>14} {'diff':>10}"
         lines.append(header)
         lines.append("-" * len(header))
+        if self.semiring == "real":
+            formatted = lambda value: f"{value:14.2f}"  # noqa: E731
+        else:
+            from repro.provenance.backends import resolve_backend
+
+            backend = resolve_backend(self.semiring)
+            formatted = lambda value: f"{backend.format_value(value):>14}"  # noqa: E731
         for group in self.groups[:max_groups]:
             key_text = ", ".join(str(part) for part in group.key)
             lines.append(
-                f"{key_text:<20} {group.baseline:>14.2f} {group.full_result:>14.2f} "
-                f"{group.compressed_result:>14.2f} {group.absolute_error:>10.2f}"
+                f"{key_text:<20} {formatted(group.baseline)} "
+                f"{formatted(group.full_result)} "
+                f"{formatted(group.compressed_result)} {group.absolute_error:>10.2f}"
             )
         if len(self.groups) > max_groups:
             lines.append(f"... ({len(self.groups) - max_groups} more groups)")

@@ -104,22 +104,28 @@ class Scenario:
         )
 
     def apply(
-        self, valuation: Valuation, variables: Optional[Iterable[str]] = None
+        self,
+        valuation: Valuation,
+        variables: Optional[Iterable[str]] = None,
+        semiring: Optional[object] = None,
     ) -> Valuation:
         """Apply the scenario to ``valuation``.
 
         ``variables`` restricts which names the selectors may touch; by
-        default the valuation's own variables are used.
+        default the valuation's own variables are used.  The operations'
+        meaning is defined by the valuation's semiring backend (``semiring=``
+        types a plain mapping first): numeric backends multiply/assign, set
+        backends interpret scale-by-0 / set-0 as deletion.
         """
         if not isinstance(valuation, Valuation):
-            valuation = Valuation(valuation)
+            valuation = Valuation(valuation, semiring=semiring)
         names = list(variables) if variables is not None else list(valuation)
         result = valuation
         for kind, selected, amount in self.resolved_operations(names):
             if kind == "scale":
                 result = result.scaled(selected, amount)
             else:
-                result = result.updated({name: amount for name in selected})
+                result = result.set_to(selected, amount)
         return result
 
     def affected_variables(self, variables: Iterable[str]) -> Tuple[str, ...]:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import SessionStateError
+from repro.provenance.backends import BackendLike, resolve_backend
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.valuation import (
     CompiledProvenanceSet,
@@ -50,14 +51,21 @@ class CobraSession:
     provenance:
         The full provenance polynomials, keyed by result group.
     base_valuation:
-        The analyst's valuation of the provenance variables.  The all-ones
+        The analyst's valuation of the provenance variables.  The identity
         valuation (the default) reproduces the original query results.
+    semiring:
+        The evaluation backend — a name (``"real"``, ``"tropical"``,
+        ``"bool"``, ``"why"``, ``"lineage"``), a semiring instance, or a
+        :class:`~repro.provenance.backends.SemiringBackend`.  The default is
+        the real (float) pipeline; any other backend types the valuations by
+        its carrier and evaluates results in that semiring.
     """
 
     def __init__(
         self,
         provenance: ProvenanceSet,
         base_valuation: Optional[Mapping[str, float]] = None,
+        semiring: BackendLike = None,
     ) -> None:
         if not isinstance(provenance, ProvenanceSet):
             raise SessionStateError(
@@ -65,16 +73,22 @@ class CobraSession:
                 "repro.db.to_provenance_set or the workload generators"
             )
         self._provenance = provenance
+        self._backend = resolve_backend(semiring)
         if base_valuation is None:
-            self._base_valuation = Valuation.identity_for(provenance)
+            self._base_valuation = Valuation.identity_for(
+                provenance, semiring=self._backend
+            )
         else:
-            self._base_valuation = Valuation(dict(base_valuation))
+            self._base_valuation = Valuation(
+                dict(base_valuation), semiring=self._backend
+            )
         missing = self._base_valuation.missing(provenance.variables())
         if missing:
-            # Unassigned variables default to 1.0 (no change), mirroring the
-            # demo's behaviour of starting from the original query result.
+            # Unassigned variables default to their backend identity (1.0 on
+            # the float pipeline — no change), mirroring the demo's behaviour
+            # of starting from the original query result.
             self._base_valuation = self._base_valuation.updated(
-                {name: 1.0 for name in missing}
+                {name: self._backend.default_value(name) for name in missing}
             )
 
         self._trees: Optional[AbstractionForest] = None
@@ -97,9 +111,18 @@ class CobraSession:
         """The analyst's valuation of the original provenance variables."""
         return self._base_valuation
 
+    @property
+    def backend(self):
+        """The session's semiring backend (the real backend by default)."""
+        return self._backend
+
     def initial_results(self) -> Dict[Tuple, float]:
         """The query results under the base valuation (the demo's first screen)."""
-        return self._provenance.evaluate(self._base_valuation)
+        if self._backend.name == "real":
+            return self._provenance.evaluate(self._base_valuation)
+        if self._compiled_full is None:
+            self._compiled_full = self._backend.compile(self._provenance)
+        return self._compiled_full.evaluate(self._base_valuation)
 
     # -- step 2: tree and bound ---------------------------------------------------
 
@@ -230,23 +253,30 @@ class CobraSession:
             reducer=reducer,
             provenance=self._provenance,
             on_missing="skip",
+            semiring=self._backend,
         )
 
     def meta_variable_panel(self, reducer: str = "mean") -> Tuple[MetaVariableInfo, ...]:
         """The rows of the meta-variable assignment screen (Figure 5)."""
         abstraction = self.abstraction
         defaults = self.default_valuation(reducer=reducer)
+        is_real = self._backend.name == "real"
         rows = []
         for meta, members in sorted(abstraction.grouped_variables().items()):
             member_values = tuple(
-                float(self._base_valuation.get(member, 1.0)) for member in members
+                float(self._base_valuation.get(member, 1.0))
+                if is_real
+                else self._base_valuation.get(
+                    member, self._backend.default_value(member)
+                )
+                for member in members
             )
             rows.append(
                 MetaVariableInfo(
                     name=meta,
                     members=members,
                     member_values=member_values,
-                    default_value=float(defaults[meta]),
+                    default_value=float(defaults[meta]) if is_real else defaults[meta],
                 )
             )
         return tuple(rows)
@@ -254,10 +284,13 @@ class CobraSession:
     # -- step 5: assignment and comparison -------------------------------------------
 
     def _compiled(self) -> Tuple[CompiledProvenanceSet, CompiledProvenanceSet]:
+        # The backend decides the compiled form: CompiledProvenanceSet for the
+        # real backend (unchanged fast path), a numpy semiring kernel or the
+        # generic fallback otherwise — all sharing the same surface.
         if self._compiled_full is None:
-            self._compiled_full = CompiledProvenanceSet(self._provenance)
+            self._compiled_full = self._backend.compile(self._provenance)
         if self._compiled_compressed is None:
-            self._compiled_compressed = CompiledProvenanceSet(
+            self._compiled_compressed = self._backend.compile(
                 self.compressed_provenance
             )
         return self._compiled_full, self._compiled_compressed
@@ -287,19 +320,22 @@ class CobraSession:
             report the speedup, as the demo does.
         """
         full_value_map = (
-            Valuation(dict(full_valuation))
+            Valuation(dict(full_valuation), semiring=self._backend)
             if full_valuation is not None
             else self._base_valuation
         )
         missing = full_value_map.missing(self._provenance.variables())
         if missing:
-            full_value_map = full_value_map.updated({name: 1.0 for name in missing})
+            full_value_map = full_value_map.updated(
+                {name: self._backend.default_value(name) for name in missing}
+            )
 
         meta_valuation = default_meta_valuation(
             self.abstraction,
             full_value_map,
             reducer="mean",
             on_missing="skip",
+            semiring=self._backend,
         )
         if meta_changes:
             meta_valuation = meta_valuation.updated(dict(meta_changes))
@@ -308,7 +344,10 @@ class CobraSession:
         )
         if compressed_missing:
             meta_valuation = meta_valuation.updated(
-                {name: 1.0 for name in compressed_missing}
+                {
+                    name: self._backend.default_value(name)
+                    for name in compressed_missing
+                }
             )
 
         compiled_full, compiled_compressed = self._compiled()
@@ -316,23 +355,31 @@ class CobraSession:
         full_results = compiled_full.evaluate(full_value_map)
         compressed_results = compiled_compressed.evaluate(meta_valuation)
 
+        zero = self._backend.semiring.zero
         groups = tuple(
             GroupComparison(
                 key=key,
                 baseline=baseline_results[key],
                 full_result=full_results[key],
-                compressed_result=compressed_results.get(key, 0.0),
+                compressed_result=compressed_results.get(key, zero),
+                semiring=self._backend.name,
             )
             for key in self._provenance.keys()
         )
 
         speedup = None
         if measure_assignment_speedup:
-            speedup = measure_speedup(
-                lambda: compiled_full.evaluate_vector(full_value_map),
-                lambda: compiled_compressed.evaluate_vector(meta_valuation),
-                repeats=speedup_repeats,
-            )
+            if self._backend.name == "real":
+                full_fn = lambda: compiled_full.evaluate_vector(full_value_map)  # noqa: E731
+                compressed_fn = lambda: compiled_compressed.evaluate_vector(  # noqa: E731
+                    meta_valuation
+                )
+            else:
+                full_fn = lambda: compiled_full.evaluate(full_value_map)  # noqa: E731
+                compressed_fn = lambda: compiled_compressed.evaluate(  # noqa: E731
+                    meta_valuation
+                )
+            speedup = measure_speedup(full_fn, compressed_fn, repeats=speedup_repeats)
 
         return AssignmentReport(
             groups=groups,
@@ -341,6 +388,7 @@ class CobraSession:
             full_variables=self._provenance.num_variables(),
             compressed_variables=self.compressed_provenance.num_variables(),
             speedup=speedup,
+            semiring=self._backend.name,
         )
 
     def assign_scenario(
@@ -425,6 +473,7 @@ class CobraSession:
             base_valuation=self._base_valuation,
             compressed=compressed,
             abstraction=abstraction,
+            semiring=self._backend,
         )
 
     def compare_scenarios(

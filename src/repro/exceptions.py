@@ -53,6 +53,11 @@ class SemiringError(ProvenanceError):
     """Raised for misuse of the semiring framework."""
 
 
+class SerializationError(ProvenanceError):
+    """Raised when a persisted provenance file is malformed or has an
+    unsupported format version."""
+
+
 # ---------------------------------------------------------------------------
 # Database engine
 # ---------------------------------------------------------------------------

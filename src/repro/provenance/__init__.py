@@ -36,6 +36,17 @@ from repro.provenance.semiring import (
     PolynomialSemiring,
     evaluate_in_semiring,
 )
+from repro.provenance.backends import (
+    SEMIRING_BACKEND_NAMES,
+    BooleanBackend,
+    GenericBackend,
+    LineageBackend,
+    RealBackend,
+    SemiringBackend,
+    TropicalBackend,
+    WhyBackend,
+    resolve_backend,
+)
 from repro.provenance.semimodule import AggregateTerm, AggregateExpression
 from repro.provenance.statistics import (
     ProvenanceStatistics,
@@ -63,6 +74,15 @@ __all__ = [
     "LineageSemiring",
     "PolynomialSemiring",
     "evaluate_in_semiring",
+    "SemiringBackend",
+    "RealBackend",
+    "TropicalBackend",
+    "BooleanBackend",
+    "GenericBackend",
+    "WhyBackend",
+    "LineageBackend",
+    "resolve_backend",
+    "SEMIRING_BACKEND_NAMES",
     "AggregateTerm",
     "AggregateExpression",
     "ProvenanceStatistics",

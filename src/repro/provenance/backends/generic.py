@@ -1,0 +1,165 @@
+"""The generic pure-Python backend: any semiring, no numpy.
+
+:class:`GenericBackend` evaluates compiled provenance by running
+:func:`~repro.provenance.semiring.evaluate_in_semiring` per polynomial, so
+it works for every commutative semiring — in particular the set-valued Why
+and Lineage instances, whose carriers do not fit numpy arrays.  It is also
+the reference implementation the numpy backends are property-tested against
+and the baseline the backend benchmark measures their speedup over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import MissingValuationError
+from repro.provenance.backends.base import CompiledSemiringSet, SemiringBackend
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.semiring import (
+    LineageSemiring,
+    Semiring,
+    WhySemiring,
+    evaluate_in_semiring,
+)
+
+
+class CompiledGenericSet(CompiledSemiringSet):
+    """A provenance set held symbolically, evaluated polynomial by polynomial."""
+
+    __slots__ = ("_provenance", "_semiring", "_embed", "_variables")
+
+    def __init__(
+        self,
+        provenance: ProvenanceSet,
+        semiring: Semiring,
+        embed: Callable[[float], Any],
+    ) -> None:
+        self._provenance = provenance
+        self._semiring = semiring
+        self._embed = embed
+        self._variables: Tuple[str, ...] = tuple(sorted(provenance.variables()))
+
+    @property
+    def keys(self) -> Tuple[Tuple, ...]:
+        return self._provenance.keys()
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._variables
+
+    def size(self) -> int:
+        return self._provenance.size()
+
+    def evaluate(self, valuation: Mapping[str, Any]) -> Dict[Tuple, Any]:
+        missing = [name for name in self._variables if name not in valuation]
+        if missing:
+            raise MissingValuationError(missing)
+        return {
+            key: evaluate_in_semiring(
+                polynomial, self._semiring, valuation, coefficient_embedding=self._embed
+            )
+            for key, polynomial in self._provenance.items()
+        }
+
+
+class GenericBackend(SemiringBackend):
+    """Evaluate in an arbitrary semiring via the homomorphic reference path.
+
+    The default value semantics suit idempotent (set-like) semirings: a
+    variable's base value is the semiring one, scenario ``scale``/``set``
+    express deletion (amount 0) or restoration (any other amount), and
+    coefficients embed as presence.  Subclasses refine ``default_value`` and
+    the error measure.
+    """
+
+    def __init__(self, semiring: Semiring, name: Optional[str] = None) -> None:
+        self._semiring = semiring
+        if name:
+            self.name = name
+        elif not self.name:
+            self.name = semiring.name().lower()
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    def coerce(self, value: Any) -> Any:
+        return value
+
+    def compile(self, provenance: ProvenanceSet) -> CompiledGenericSet:
+        return CompiledGenericSet(provenance, self._semiring, self.embed_coefficient)
+
+    def error(self, full: Any, compressed: Any) -> float:
+        return 0.0 if full == compressed else 1.0
+
+
+class WhyBackend(GenericBackend):
+    """Why-provenance: each variable's base value is its singleton witness.
+
+    Results are sets of witness sets; the abstraction error between two
+    results is the cardinality of their symmetric difference (how many
+    witness sets appear on exactly one side).
+    """
+
+    name = "why"
+
+    def __init__(self) -> None:
+        super().__init__(WhySemiring(), name="why")
+
+    def default_value(self, name: str) -> FrozenSet[FrozenSet[str]]:
+        return WhySemiring.of(name)
+
+    def set_value(self, amount: float, name: str) -> FrozenSet[FrozenSet[str]]:
+        if amount == 0:
+            return self._semiring.zero
+        return self.default_value(name)
+
+    def error(self, full: Any, compressed: Any) -> float:
+        if full == compressed:
+            return 0.0
+        return float(max(1, len(frozenset(full) ^ frozenset(compressed))))
+
+    def magnitude(self, value: Any) -> float:
+        return float(len(value))
+
+    def format_value(self, value: Any, width: int = 14) -> str:
+        witnesses = sorted("{" + ",".join(sorted(w)) + "}" for w in value)
+        return super().format_value("{" + ",".join(witnesses) + "}", width)
+
+
+class LineageBackend(GenericBackend):
+    """Lineage: each variable's base value is the singleton ``{name}``.
+
+    Results are flat variable sets (or ``None``, the annihilating zero); the
+    error between two results is the cardinality of their symmetric
+    difference, with ``None`` counting as different from every set.
+    """
+
+    name = "lineage"
+
+    def __init__(self) -> None:
+        super().__init__(LineageSemiring(), name="lineage")
+
+    def default_value(self, name: str) -> FrozenSet[str]:
+        return frozenset({name})
+
+    def set_value(self, amount: float, name: str) -> Optional[FrozenSet[str]]:
+        if amount == 0:
+            return None
+        return self.default_value(name)
+
+    def error(self, full: Any, compressed: Any) -> float:
+        if full == compressed:
+            return 0.0
+        if full is None or compressed is None:
+            present = compressed if full is None else full
+            return float(max(1, len(present)))
+        return float(max(1, len(full ^ compressed)))
+
+    def magnitude(self, value: Any) -> float:
+        return 0.0 if value is None else float(len(value))
+
+    def format_value(self, value: Any, width: int = 14) -> str:
+        if value is None:
+            return "⊥"
+        return super().format_value("{" + ",".join(sorted(value)) + "}", width)

@@ -1,0 +1,372 @@
+"""Numpy-backed backends for numeric semirings.
+
+Three backends share the segmented-kernel layout pioneered by
+:class:`~repro.provenance.valuation.CompiledProvenanceSet` (monomials grouped
+by factor count, sorted by result row, per-row totals via ``*.reduceat``):
+
+* :class:`RealBackend` — the counting semiring ``(R, +, *)``; its compiled
+  form *is* ``CompiledProvenanceSet``, so the float pipeline is unchanged;
+* :class:`TropicalBackend` — min-plus: a monomial's contribution is its
+  coefficient (a fixed cost) plus the exponent-weighted sum of its variables'
+  costs, and per-row totals are segmented minima (``np.minimum.reduceat``);
+* :class:`BooleanBackend` — or-and on packed boolean arrays: a monomial
+  contributes ``True`` iff all of its variables are truthy, and per-row
+  totals are segmented disjunctions (``np.logical_or.reduceat``).
+
+All three consume the same ``scenarios × variables`` float matrices the
+batch planner produces (the Boolean backend thresholds them at non-zero), so
+the chunked/threaded matrix pipeline works for every numeric semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MissingValuationError
+from repro.provenance.backends.base import (
+    CompiledSemiringSet,
+    SemiringBackend,
+)
+from repro.provenance.polynomial import ProvenanceSet
+from repro.provenance.semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    Semiring,
+    TropicalSemiring,
+)
+
+
+class _SegmentGroup:
+    """One width-group of monomials, row-sorted for segmented reductions."""
+
+    __slots__ = ("coefficients", "indices", "exponents", "segment_starts", "segment_rows")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        coefficients: np.ndarray,
+        indices: np.ndarray,
+        exponents: np.ndarray,
+    ) -> None:
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        self.coefficients: np.ndarray = coefficients[order]
+        self.indices: np.ndarray = indices[order]
+        self.exponents: np.ndarray = exponents[order]
+        boundaries = np.flatnonzero(np.diff(rows)) + 1
+        self.segment_starts: np.ndarray = np.concatenate(([0], boundaries))
+        self.segment_rows: np.ndarray = rows[self.segment_starts]
+
+
+class _CompiledNumericSet(CompiledSemiringSet):
+    """Shared compilation for numeric semirings; subclasses fix the algebra."""
+
+    __slots__ = ("_keys", "_variables", "_index", "_constant", "_groups", "_num_constants")
+
+    #: The additive identity of the semiring (fills rows with no monomials).
+    _identity: float = 0.0
+
+    def __init__(self, provenance: ProvenanceSet) -> None:
+        self._keys: Tuple[Tuple, ...] = provenance.keys()
+        variables = sorted(provenance.variables())
+        self._variables: Tuple[str, ...] = tuple(variables)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+        key_index = {key: i for i, key in enumerate(self._keys)}
+
+        self._constant = np.full(len(self._keys), self._identity, dtype=np.float64)
+        self._num_constants = 0
+        by_width: Dict[int, List[Tuple[int, float, List[int], List[int]]]] = {}
+        for key, polynomial in provenance.items():
+            row = key_index[key]
+            for monomial, coefficient in polynomial.terms():
+                if monomial.is_unit():
+                    self._fold_constant(row, coefficient)
+                    self._num_constants += 1
+                    continue
+                var_indices: List[int] = []
+                exponents: List[int] = []
+                for name, exponent in monomial:
+                    var_indices.append(self._index[name])
+                    exponents.append(exponent)
+                by_width.setdefault(len(var_indices), []).append(
+                    (row, coefficient, var_indices, exponents)
+                )
+
+        self._groups: List[_SegmentGroup] = []
+        for _width, rows in sorted(by_width.items()):
+            self._groups.append(
+                _SegmentGroup(
+                    np.array([r[0] for r in rows], dtype=np.intp),
+                    np.array([r[1] for r in rows], dtype=np.float64),
+                    np.array([r[2] for r in rows], dtype=np.intp),
+                    np.array([r[3] for r in rows], dtype=np.float64),
+                )
+            )
+
+    # -- the algebra hooks ---------------------------------------------------
+
+    def _fold_constant(self, row: int, coefficient: float) -> None:
+        raise NotImplementedError
+
+    def _contributions(self, group: _SegmentGroup, matrix: np.ndarray) -> np.ndarray:
+        """Per-monomial contributions for a ``... × variables`` value matrix."""
+        raise NotImplementedError
+
+    def _reduce(self, contributions: np.ndarray, starts: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _accumulate(self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray, axis: int) -> None:
+        raise NotImplementedError
+
+    # -- the CompiledSemiringSet surface --------------------------------------
+
+    @property
+    def keys(self) -> Tuple[Tuple, ...]:
+        return self._keys
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._variables
+
+    def size(self) -> int:
+        return self._num_constants + sum(len(g.coefficients) for g in self._groups)
+
+    def variable_index(self) -> Dict[str, int]:
+        return dict(self._index)
+
+    def values_vector(self, valuation: Mapping[str, Any]) -> np.ndarray:
+        missing = [name for name in self._variables if name not in valuation]
+        if missing:
+            raise MissingValuationError(missing)
+        return np.array(
+            [float(valuation[name]) for name in self._variables], dtype=np.float64
+        )
+
+    def evaluate(self, valuation: Mapping[str, Any]) -> Dict[Tuple, Any]:
+        totals = self.evaluate_matrix(self.values_vector(valuation)[np.newaxis, :])[0]
+        return {key: self._to_python(totals[i]) for i, key in enumerate(self._keys)}
+
+    def _to_python(self, value: np.floating) -> Any:
+        return float(value)
+
+    def evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._variables):
+            raise ValueError(
+                f"expected a (scenarios, {len(self._variables)}) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        totals = np.tile(self._constant, (matrix.shape[0], 1))
+        for group in self._groups:
+            segments = self._reduce(
+                self._contributions(group, matrix), group.segment_starts, axis=1
+            )
+            self._accumulate(totals, group.segment_rows, segments, axis=1)
+        return totals
+
+    def evaluate_many(self, valuations: Sequence[Mapping[str, Any]]):
+        if not valuations:
+            return np.zeros((0, len(self._keys)), dtype=np.float64)
+        matrix = np.stack([self.values_vector(v) for v in valuations])
+        return self.evaluate_matrix(matrix)
+
+
+class _CompiledTropicalSet(_CompiledNumericSet):
+    """Min-plus compilation: costs add along a monomial, rows take minima."""
+
+    __slots__ = ()
+
+    _identity = float("inf")
+
+    def _fold_constant(self, row: int, coefficient: float) -> None:
+        self._constant[row] = min(self._constant[row], float(coefficient))
+
+    def _contributions(self, group: _SegmentGroup, matrix: np.ndarray) -> np.ndarray:
+        gathered = matrix[..., group.indices]
+        return np.sum(gathered * group.exponents, axis=-1) + group.coefficients
+
+    def _reduce(self, contributions, starts, axis):
+        return np.minimum.reduceat(contributions, starts, axis=axis)
+
+    def _accumulate(self, totals, rows, segments, axis):
+        totals[:, rows] = np.minimum(totals[:, rows], segments)
+
+
+class _CompiledBooleanSet(_CompiledNumericSet):
+    """Or-and compilation on packed boolean arrays.
+
+    Exponents are irrelevant (``x^k = x`` in an idempotent semiring) and a
+    monomial with a non-zero coefficient contributes the conjunction of its
+    variables; results come back as 0.0/1.0 floats so the matrix pipeline
+    and the batch report keep their float dtype.
+    """
+
+    __slots__ = ()
+
+    _identity = 0.0
+
+    def _fold_constant(self, row: int, coefficient: float) -> None:
+        if coefficient != 0.0:
+            self._constant[row] = 1.0
+
+    def _contributions(self, group: _SegmentGroup, matrix: np.ndarray) -> np.ndarray:
+        gathered = matrix[..., group.indices] != 0.0
+        present = np.all(gathered, axis=-1)
+        return present & (group.coefficients != 0.0)
+
+    def _reduce(self, contributions, starts, axis):
+        return np.logical_or.reduceat(contributions, starts, axis=axis)
+
+    def _accumulate(self, totals, rows, segments, axis):
+        totals[:, rows] = np.maximum(totals[:, rows], segments.astype(np.float64))
+
+    def _to_python(self, value: np.floating) -> Any:
+        return bool(value != 0.0)
+
+
+class NumericBackend(SemiringBackend):
+    """Base class for backends whose carrier is (a subset of) the reals."""
+
+    is_numeric = True
+    #: The float standing in for a *missing* variable in matrix pipelines —
+    #: the value under which the variable leaves the result unchanged.
+    numeric_fill: float = 1.0
+
+    def coerce(self, value: Any) -> float:
+        return float(value)
+
+    def scale_value(self, value: Any, factor: float) -> float:
+        return float(value) * float(factor)
+
+    def set_value(self, amount: float, name: str) -> float:
+        return float(amount)
+
+    def embed_coefficient(self, coefficient: float) -> float:
+        return float(coefficient)
+
+    def reduce_members(self, values: Sequence[Any]) -> float:
+        values = [float(v) for v in values]
+        return sum(values) / len(values) if values else float(self.semiring.one)
+
+    def delta(self, baseline: Any, value: Any) -> float:
+        if value == baseline:
+            return 0.0
+        return float(value) - float(baseline)
+
+    def error(self, full: Any, compressed: Any) -> float:
+        if full == compressed:
+            return 0.0
+        return abs(float(full) - float(compressed))
+
+    def magnitude(self, value: Any) -> float:
+        return abs(float(value))
+
+    def format_value(self, value: Any, width: int = 14) -> str:
+        return f"{float(value):.2f}"
+
+
+class RealBackend(NumericBackend):
+    """The counting semiring ``(R, +, *)`` — the original float pipeline."""
+
+    name = "real"
+    numeric_fill = 1.0
+
+    def __init__(self) -> None:
+        self._semiring = CountingSemiring()
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    def compile(self, provenance: ProvenanceSet):
+        from repro.provenance.valuation import CompiledProvenanceSet
+
+        return CompiledProvenanceSet(provenance)
+
+
+class TropicalBackend(NumericBackend):
+    """The tropical (min, +) semiring: variables are costs, results min-costs.
+
+    Scenario semantics: ``scale`` multiplies a cost (a 20% toll hike is
+    ``scale(..., 1.2)``), ``set`` pins it; the default value of a variable
+    is the semiring one (0.0 — no added cost), so untouched variables never
+    change a route's cost.  Coefficients embed as fixed costs.
+    """
+
+    name = "tropical"
+    numeric_fill = 0.0
+
+    def __init__(self) -> None:
+        self._semiring = TropicalSemiring()
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    def default_value(self, name: str) -> float:
+        return 0.0
+
+    def compile(self, provenance: ProvenanceSet) -> _CompiledTropicalSet:
+        return _CompiledTropicalSet(provenance)
+
+    def magnitude(self, value: Any) -> float:
+        value = float(value)
+        return abs(value) if np.isfinite(value) else float("inf")
+
+    def format_value(self, value: Any, width: int = 14) -> str:
+        value = float(value)
+        return "unreachable" if np.isinf(value) else f"{value:.2f}"
+
+
+class BooleanBackend(NumericBackend):
+    """The Boolean semiring: tuple existence under deletions/access control.
+
+    Values are truthinesses (the matrix pipeline carries them as 0.0/1.0
+    floats); ``scale`` by 0 deletes, by anything else keeps; ``set`` assigns
+    the amount's truthiness.  Coefficients embed as presence.
+    """
+
+    name = "bool"
+    numeric_fill = 1.0
+
+    def __init__(self) -> None:
+        self._semiring = BooleanSemiring()
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    def coerce(self, value: Any) -> bool:
+        return bool(value)
+
+    def scale_value(self, value: Any, factor: float) -> bool:
+        return bool(value) and factor != 0
+
+    def set_value(self, amount: float, name: str) -> bool:
+        return amount != 0
+
+    def embed_coefficient(self, coefficient: float) -> bool:
+        return coefficient != 0
+
+    def compile(self, provenance: ProvenanceSet) -> _CompiledBooleanSet:
+        return _CompiledBooleanSet(provenance)
+
+    def reduce_members(self, values: Sequence[Any]) -> float:
+        # The mean of 0/1 values is non-zero iff any member survives, so the
+        # numeric mean lowering coincides with the Boolean disjunction.
+        values = [1.0 if v else 0.0 for v in values]
+        return sum(values) / len(values) if values else 1.0
+
+    def delta(self, baseline: Any, value: Any) -> float:
+        return float(bool(value)) - float(bool(baseline))
+
+    def error(self, full: Any, compressed: Any) -> float:
+        return 0.0 if bool(full) == bool(compressed) else 1.0
+
+    def magnitude(self, value: Any) -> float:
+        return 1.0 if bool(value) else 0.0
+
+    def format_value(self, value: Any, width: int = 14) -> str:
+        return "true" if bool(value) else "false"

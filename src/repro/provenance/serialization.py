@@ -3,20 +3,31 @@
 These are the persistence formats used by the CLI (``cobra compress --input
 provenance.json``) and by downstream analysts who receive compressed
 provenance from a stronger machine — the workflow motivating the paper.
+
+Files are written atomically (to a temporary file in the same directory,
+then ``os.replace``-d into place), so a crash mid-write never corrupts an
+existing file, and are stamped with a ``version`` field; the loaders accept
+the current version plus legacy unversioned payloads and raise
+:class:`~repro.exceptions.SerializationError` on anything else.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.exceptions import InvalidPolynomialError
+from repro.exceptions import InvalidPolynomialError, SerializationError
 from repro.provenance.monomial import Monomial
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
 from repro.provenance.valuation import Valuation
 
 PathLike = Union[str, Path]
+
+#: The on-disk format version stamped into every file written by ``save_*``.
+FORMAT_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
@@ -36,14 +47,20 @@ def polynomial_to_dict(polynomial: Polynomial) -> Dict:
 
 def polynomial_from_dict(data: Dict) -> Polynomial:
     """Inverse of :func:`polynomial_to_dict`."""
-    if "terms" not in data:
+    if not isinstance(data, dict) or "terms" not in data:
         raise InvalidPolynomialError("polynomial JSON must contain a 'terms' list")
+    if not isinstance(data["terms"], list):
+        raise InvalidPolynomialError("polynomial 'terms' must be a list")
     terms = {}
     for term in data["terms"]:
-        monomial = Monomial.from_factors(
-            [(name, int(exp)) for name, exp in term["factors"]]
-        )
-        terms[monomial] = terms.get(monomial, 0.0) + float(term["coefficient"])
+        try:
+            monomial = Monomial.from_factors(
+                [(name, int(exp)) for name, exp in term["factors"]]
+            )
+            coefficient = float(term["coefficient"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidPolynomialError(f"malformed polynomial term: {term!r}") from exc
+        terms[monomial] = terms.get(monomial, 0.0) + coefficient
     return Polynomial(terms)
 
 
@@ -64,8 +81,14 @@ def provenance_set_to_dict(provenance: ProvenanceSet) -> Dict:
 
 def provenance_set_from_dict(data: Dict) -> ProvenanceSet:
     """Inverse of :func:`provenance_set_to_dict`."""
+    if not isinstance(data, dict):
+        raise InvalidPolynomialError(
+            f"provenance-set JSON must be an object, got {type(data).__name__}"
+        )
     result = ProvenanceSet()
     for group in data.get("groups", []):
+        if not isinstance(group, dict) or "key" not in group or "polynomial" not in group:
+            raise InvalidPolynomialError(f"malformed provenance group: {group!r}")
         key = tuple(group["key"])
         result[key] = polynomial_from_dict(group["polynomial"])
     return result
@@ -91,33 +114,122 @@ def valuation_from_dict(data: Dict[str, float]) -> Valuation:
 # ---------------------------------------------------------------------------
 
 
+def _atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash mid-write leaves at most a stray ``*.tmp`` file behind; the
+    target file is either the previous version or the complete new one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _wrap(kind: str, payload_key: str, payload) -> Dict:
+    return {"version": FORMAT_VERSION, "kind": kind, payload_key: payload}
+
+
+def _unwrap(data, kind: str, payload_key: str, path: PathLike):
+    """Peel the version envelope off a loaded JSON document.
+
+    Versioned documents must carry the current :data:`FORMAT_VERSION` and the
+    expected ``kind``; unversioned documents are accepted as the legacy
+    (pre-versioning) payload so old files keep loading.  A document is only
+    treated as an envelope when it carries both a ``version`` and a string
+    ``kind`` — a legacy valuation whose *variables* happen to include one
+    named ``"version"`` is still a legacy payload.
+    """
+    if (
+        isinstance(data, dict)
+        and "version" in data
+        and isinstance(data.get("kind"), str)
+    ):
+        version = data["version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError(
+                f"{path}: unsupported format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        if data.get("kind") != kind:
+            raise SerializationError(
+                f"{path}: expected a {kind!r} file, found kind={data.get('kind')!r}"
+            )
+        if payload_key not in data:
+            raise SerializationError(
+                f"{path}: versioned {kind!r} file is missing its "
+                f"{payload_key!r} payload"
+            )
+        return data[payload_key]
+    return data
+
+
+def _read_json(path: PathLike):
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: not valid JSON ({exc})") from exc
+
+
 def save_provenance_set(provenance: ProvenanceSet, path: PathLike) -> None:
-    """Write a provenance set as JSON to ``path``."""
-    Path(path).write_text(json.dumps(provenance_set_to_dict(provenance)))
+    """Atomically write a provenance set as versioned JSON to ``path``."""
+    payload = _wrap("provenance_set", "groups", provenance_set_to_dict(provenance)["groups"])
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def load_provenance_set(path: PathLike) -> ProvenanceSet:
-    """Read a provenance set from the JSON file at ``path``."""
-    return provenance_set_from_dict(json.loads(Path(path).read_text()))
+    """Read a provenance set from the JSON file at ``path``.
+
+    Raises
+    ------
+    SerializationError
+        On malformed JSON, a version mismatch, or the wrong file kind.
+    InvalidPolynomialError
+        On structurally invalid polynomial payloads.
+    """
+    groups = _unwrap(_read_json(path), "provenance_set", "groups", path)
+    if isinstance(groups, dict):  # legacy unversioned {"groups": [...]}
+        return provenance_set_from_dict(groups)
+    if not isinstance(groups, list):
+        raise SerializationError(f"{path}: provenance payload must be a list of groups")
+    return provenance_set_from_dict({"groups": groups})
 
 
 def save_valuation(valuation: Valuation, path: PathLike) -> None:
-    """Write a valuation as JSON to ``path``."""
-    Path(path).write_text(json.dumps(valuation_to_dict(valuation)))
+    """Atomically write a valuation as versioned JSON to ``path``."""
+    payload = _wrap("valuation", "values", valuation_to_dict(valuation))
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def load_valuation(path: PathLike) -> Valuation:
     """Read a valuation from the JSON file at ``path``."""
-    return valuation_from_dict(json.loads(Path(path).read_text()))
+    values = _unwrap(_read_json(path), "valuation", "values", path)
+    if not isinstance(values, dict):
+        raise SerializationError(f"{path}: valuation payload must be an object")
+    return valuation_from_dict(values)
 
 
 def save_polynomials(polynomials: List[Polynomial], path: PathLike) -> None:
-    """Write a bare list of polynomials as JSON to ``path``."""
-    Path(path).write_text(
-        json.dumps([polynomial_to_dict(p) for p in polynomials])
+    """Atomically write a bare list of polynomials as versioned JSON to ``path``."""
+    payload = _wrap(
+        "polynomials", "polynomials", [polynomial_to_dict(p) for p in polynomials]
     )
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def load_polynomials(path: PathLike) -> List[Polynomial]:
     """Read a bare list of polynomials from the JSON file at ``path``."""
-    return [polynomial_from_dict(d) for d in json.loads(Path(path).read_text())]
+    items = _unwrap(_read_json(path), "polynomials", "polynomials", path)
+    if not isinstance(items, list):
+        raise SerializationError(f"{path}: polynomials payload must be a list")
+    return [polynomial_from_dict(d) for d in items]

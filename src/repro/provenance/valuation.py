@@ -37,6 +37,24 @@ from repro.provenance.polynomial import Number, Polynomial, ProvenanceSet
 
 T = TypeVar("T")
 
+#: Sentinel distinguishing "key absent" from a legitimately cached falsy
+#: value (``None``, ``0``, ``False`` ...) in :class:`FingerprintCache`.
+_MISSING = object()
+
+
+def _resolve_value_backend(semiring):
+    """Resolve a ``semiring=`` argument to a backend, or ``None`` for real.
+
+    ``None`` (and the real backend itself) resolve to ``None`` so the plain
+    float pipeline keeps its dependency-free fast path.
+    """
+    if semiring is None:
+        return None
+    from repro.provenance.backends import resolve_backend
+
+    backend = resolve_backend(semiring)
+    return None if backend.name == "real" else backend
+
 
 class FingerprintCache:
     """A small LRU cache keyed by content fingerprints.
@@ -60,14 +78,20 @@ class FingerprintCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, key: Hashable) -> Optional[object]:
-        """The cached value under ``key`` (marking it most-recently used)."""
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
-        return None
+    def get(self, key: Hashable, default: object = None) -> Optional[object]:
+        """The cached value under ``key`` (marking it most-recently used).
+
+        Hits and misses are both counted here, and a cached falsy value
+        (``None``, ``0``, ``False``) is a hit like any other — lookups are
+        resolved against a sentinel, never against the value's truthiness.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert ``value`` under ``key``, evicting the least-recently used."""
@@ -78,10 +102,9 @@ class FingerprintCache:
 
     def get_or_build(self, key: Hashable, factory: Callable[[], T]) -> T:
         """Return the cached value under ``key``, building it on a miss."""
-        cached = self.get(key)
-        if cached is not None:
+        cached = self.get(key, _MISSING)
+        if cached is not _MISSING:
             return cached  # type: ignore[return-value]
-        self._misses += 1
         value = factory()
         self.put(key, value)
         return value
@@ -104,9 +127,14 @@ class FingerprintCache:
 
 
 class Valuation(Mapping[str, float]):
-    """An immutable assignment of numeric values to provenance variables.
+    """An immutable assignment of values to provenance variables.
 
     Behaves as a read-only mapping; algebraic helpers return new valuations.
+    By default values are floats (the counting-semiring pipeline); passing
+    ``semiring=`` (a backend name, a :class:`~repro.provenance.semiring.
+    Semiring` instance, or a backend) types the values by that semiring's
+    carrier and routes ``scaled``/``set_to`` through the backend's scenario
+    semantics — e.g. Boolean truthinesses or Why-provenance witness sets.
 
     Examples
     --------
@@ -115,28 +143,78 @@ class Valuation(Mapping[str, float]):
     0.8
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_backend")
 
-    def __init__(self, values: Optional[Mapping[str, Number]] = None) -> None:
-        self._values: Dict[str, float] = {
-            str(name): float(value) for name, value in (values or {}).items()
-        }
+    def __init__(
+        self,
+        values: Optional[Mapping[str, object]] = None,
+        semiring: Optional[object] = None,
+    ) -> None:
+        backend = _resolve_value_backend(semiring)
+        self._backend = backend
+        if backend is None:
+            self._values: Dict[str, object] = {
+                str(name): float(value) for name, value in (values or {}).items()
+            }
+        else:
+            self._values = {
+                str(name): backend.coerce(value)
+                for name, value in (values or {}).items()
+            }
 
     # -- constructors -----------------------------------------------------
 
     @classmethod
-    def uniform(cls, variables: Iterable[str], value: Number = 1.0) -> "Valuation":
+    def uniform(
+        cls,
+        variables: Iterable[str],
+        value: Number = 1.0,
+        semiring: Optional[object] = None,
+    ) -> "Valuation":
         """Assign the same ``value`` to every variable in ``variables``.
 
         The identity valuation (all ones) reproduces the original query
         result when applied to the provenance polynomials.
         """
-        return cls({name: value for name in variables})
+        return cls({name: value for name in variables}, semiring=semiring)
 
     @classmethod
-    def identity_for(cls, provenance: "ProvenanceSet | Polynomial") -> "Valuation":
-        """The all-ones valuation over the variables of ``provenance``."""
-        return cls.uniform(provenance.variables(), 1.0)
+    def identity_for(
+        cls,
+        provenance: "ProvenanceSet | Polynomial",
+        semiring: Optional[object] = None,
+    ) -> "Valuation":
+        """The identity valuation over the variables of ``provenance``.
+
+        All ones for the float pipeline; each backend defines its own
+        per-variable identity (e.g. each variable's singleton witness set
+        for Why-provenance) under which evaluation reproduces the original
+        result.
+        """
+        backend = _resolve_value_backend(semiring)
+        if backend is None:
+            return cls.uniform(provenance.variables(), 1.0)
+        return cls(
+            {name: backend.default_value(name) for name in provenance.variables()},
+            semiring=backend,
+        )
+
+    # -- the backend --------------------------------------------------------
+
+    @property
+    def backend(self):
+        """The :class:`~repro.provenance.backends.SemiringBackend` typing the
+        values (the real backend for plain float valuations)."""
+        if self._backend is None:
+            from repro.provenance.backends import resolve_backend
+
+            return resolve_backend("real")
+        return self._backend
+
+    @property
+    def semiring_name(self) -> str:
+        """The backend name (``"real"`` for plain float valuations)."""
+        return "real" if self._backend is None else self._backend.name
 
     # -- mapping interface --------------------------------------------------
 
@@ -158,31 +236,71 @@ class Valuation(Mapping[str, float]):
 
     # -- functional updates --------------------------------------------------
 
-    def updated(self, changes: Mapping[str, Number]) -> "Valuation":
+    def updated(self, changes: Mapping[str, object]) -> "Valuation":
         """Return a valuation with ``changes`` overriding/extending this one."""
         merged = dict(self._values)
-        for name, value in changes.items():
-            merged[str(name)] = float(value)
-        return Valuation(merged)
+        if self._backend is None:
+            for name, value in changes.items():
+                merged[str(name)] = float(value)
+        else:
+            for name, value in changes.items():
+                merged[str(name)] = self._backend.coerce(value)
+        return self._rebuild(merged)
 
     def scaled(self, variables: Iterable[str], factor: Number) -> "Valuation":
-        """Return a valuation with the given variables multiplied by ``factor``.
+        """Return a valuation with a scenario *scale* applied to the variables.
 
-        Variables not already present are treated as 1.0 before scaling, which
-        matches the paper's multiplicative parameterisation ("decrease the ppm
-        of all plans by 20%" == scale the corresponding variables by 0.8).
+        For numeric backends this multiplies (missing variables are treated
+        as their identity first), matching the paper's multiplicative
+        parameterisation ("decrease the ppm of all plans by 20%" == scale the
+        corresponding variables by 0.8).  Set-valued backends interpret a
+        zero factor as deletion and any other factor as a no-op.
         """
         merged = dict(self._values)
+        if self._backend is None:
+            for name in variables:
+                merged[name] = merged.get(name, 1.0) * float(factor)
+        else:
+            backend = self._backend
+            factor = float(factor)
+            for name in variables:
+                # Look up through a sentinel: a stored None is a legitimate
+                # carrier value (the lineage semiring's zero), not a miss.
+                current = merged.get(name, _MISSING)
+                if current is _MISSING:
+                    current = backend.default_value(name)
+                merged[name] = backend.scale_value(current, factor)
+        return self._rebuild(merged)
+
+    def set_to(self, variables: Iterable[str], amount: Number) -> "Valuation":
+        """Return a valuation with a scenario *set* applied to the variables.
+
+        Numeric backends assign the amount itself; set-valued backends
+        interpret amount 0 as deletion (the semiring zero) and any other
+        amount as restoring the variable's identity value.
+        """
+        if self._backend is None:
+            return self.updated({name: float(amount) for name in variables})
+        backend = self._backend
+        amount = float(amount)
+        merged = dict(self._values)
         for name in variables:
-            merged[name] = merged.get(name, 1.0) * float(factor)
-        return Valuation(merged)
+            merged[name] = backend.set_value(amount, name)
+        return self._rebuild(merged)
 
     def restricted(self, variables: Iterable[str]) -> "Valuation":
         """Return the valuation restricted to ``variables`` (missing ones skipped)."""
         keep = set(variables)
-        return Valuation(
+        return self._rebuild(
             {name: value for name, value in self._values.items() if name in keep}
         )
+
+    def _rebuild(self, values: Dict[str, object]) -> "Valuation":
+        """Build a valuation with the same backend from pre-coerced values."""
+        result = Valuation.__new__(Valuation)
+        result._values = values
+        result._backend = self._backend
+        return result
 
     def covers(self, variables: Iterable[str]) -> bool:
         """Whether every variable in ``variables`` has a value."""
@@ -193,7 +311,12 @@ class Valuation(Mapping[str, float]):
         return tuple(sorted(name for name in set(variables) if name not in self._values))
 
     def __repr__(self) -> str:
-        return f"Valuation({len(self._values)} variables)"
+        if self._backend is None:
+            return f"Valuation({len(self._values)} variables)"
+        return (
+            f"Valuation({len(self._values)} variables, "
+            f"semiring={self._backend.name!r})"
+        )
 
 
 class CompiledPolynomial:

@@ -10,6 +10,9 @@
 * :mod:`repro.workloads.tpch` / :mod:`repro.workloads.tpch_queries` —
   a TPC-H-style synthetic database and provenance-parameterised versions of
   a subset of its queries;
+* :mod:`repro.workloads.routing` — min-cost call routing on the telephony
+  network: the tropical backend's workload (route monomials over shared
+  trunk variables, coefficients as fixed access costs);
 * :mod:`repro.workloads.random_polynomials` — random provenance and random
   abstraction trees for stress and property-based testing.
 """
@@ -39,6 +42,16 @@ from repro.workloads.tpch_queries import (
     q6_forecast_revenue,
     q10_returned_items,
     all_tpch_queries,
+    customer_nation_tree,
+    tpch_deletion_provenance,
+    tpch_deletion_scenarios,
+)
+from repro.workloads.routing import (
+    RoutingConfig,
+    generate_routing_provenance,
+    routing_base_costs,
+    routing_scenario_sweep,
+    trunk_group_tree,
 )
 from repro.workloads.random_polynomials import (
     random_provenance,
@@ -68,6 +81,14 @@ __all__ = [
     "q6_forecast_revenue",
     "q10_returned_items",
     "all_tpch_queries",
+    "customer_nation_tree",
+    "tpch_deletion_provenance",
+    "tpch_deletion_scenarios",
+    "RoutingConfig",
+    "generate_routing_provenance",
+    "routing_base_costs",
+    "routing_scenario_sweep",
+    "trunk_group_tree",
     "random_provenance",
     "random_tree",
     "random_single_tree_instance",

@@ -1,0 +1,152 @@
+"""Min-cost call-routing what-ifs on the telephony network (tropical semiring).
+
+The running example's revenue analysis values provenance in the counting
+semiring; this workload exercises the *tropical* (min, +) backend on the
+same telephony setting: every zip code is connected to the exchange through
+a handful of candidate routes, each route passing through two or three
+shared trunks.  A zip's provenance polynomial has one monomial per candidate
+route — the product of the route's trunk variables, with the route's fixed
+access cost as its coefficient — so evaluating it tropically under a
+per-trunk cost valuation yields the cheapest way to route the zip's traffic:
+
+    cost(zip) = min over routes ( access cost + Σ trunk costs ).
+
+What-if scenarios are cost perturbations: "trunk t3 is congested, +50% on
+its cost" (``scale``), "trunk t5 under maintenance, pin its cost to 9.0"
+(``set``).  Because abstraction only renames variables, the same provenance
+can be compressed with a trunk-group tree and re-evaluated tropically — the
+commutation property the paper proves for arbitrary semirings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.abstraction_tree import AbstractionTree
+from repro.engine.scenario import Scenario
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import Valuation
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Parameters of the synthetic routing instance.
+
+    ``num_zips × routes_per_zip`` monomials over ``num_trunks`` trunk
+    variables; deterministic for a fixed seed.
+    """
+
+    num_zips: int = 40
+    num_trunks: int = 12
+    routes_per_zip: int = 4
+    trunks_per_route: int = 3
+    min_access_cost: float = 1.0
+    max_access_cost: float = 6.0
+    min_trunk_cost: float = 0.5
+    max_trunk_cost: float = 4.0
+    seed: int = 11
+
+    def expected_provenance_size(self) -> int:
+        """The number of monomials the generator produces."""
+        return self.num_zips * self.routes_per_zip
+
+
+def trunk_name(index: int) -> str:
+    """The variable name of the ``index``-th trunk."""
+    return f"t{index + 1}"
+
+
+def generate_routing_provenance(config: RoutingConfig = RoutingConfig()) -> ProvenanceSet:
+    """One polynomial per zip: a monomial per candidate route.
+
+    Each route's monomial multiplies its (distinct) trunk variables and
+    carries the route's fixed access cost as coefficient, so tropical
+    evaluation under a trunk-cost valuation is exactly the min-cost routing
+    problem described in the module docstring.
+    """
+    rng = np.random.default_rng(config.seed)
+    provenance = ProvenanceSet()
+    for zip_position in range(config.num_zips):
+        terms: Dict[Monomial, float] = {}
+        for _route in range(config.routes_per_zip):
+            trunks = rng.choice(
+                config.num_trunks, size=config.trunks_per_route, replace=False
+            )
+            access = round(
+                float(
+                    rng.uniform(config.min_access_cost, config.max_access_cost)
+                ),
+                2,
+            )
+            monomial = Monomial({trunk_name(int(t)): 1 for t in trunks})
+            # Two routes through the same trunks keep the cheaper access cost
+            # (they are the same derivation tropically).
+            if monomial not in terms or access < terms[monomial]:
+                terms[monomial] = access
+        provenance[(f"{10001 + zip_position}",)] = Polynomial(terms)
+    return provenance
+
+
+def routing_base_costs(config: RoutingConfig = RoutingConfig()) -> Valuation:
+    """The per-trunk base costs, as a tropical-semiring valuation."""
+    rng = np.random.default_rng(config.seed + 1)
+    return Valuation(
+        {
+            trunk_name(i): round(
+                float(rng.uniform(config.min_trunk_cost, config.max_trunk_cost)), 2
+            )
+            for i in range(config.num_trunks)
+        },
+        semiring="tropical",
+    )
+
+
+def trunk_group_tree(config: RoutingConfig = RoutingConfig()) -> AbstractionTree:
+    """An abstraction tree grouping trunks into regional bundles of four."""
+    trunks = [trunk_name(i) for i in range(config.num_trunks)]
+    children: Dict[str, List[str]] = {"trunks": []}
+    for start in range(0, len(trunks), 4):
+        bundle = f"bundle{start // 4 + 1}"
+        children["trunks"].append(bundle)
+        children[bundle] = trunks[start : start + 4]
+    return AbstractionTree("trunks", children)
+
+
+def routing_scenario_sweep(
+    count: int, config: RoutingConfig = RoutingConfig()
+) -> List[Scenario]:
+    """A deterministic sweep of trunk-cost what-ifs.
+
+    Cycles through congestion surcharges (scale a trunk's cost up),
+    maintenance discounts (scale down) and pinned costs (set), over the
+    configured trunks.
+    """
+    factors = (1.5, 0.75, 1.25, 0.5, 2.0)
+    pinned = (9.0, 0.25, 5.0)
+    scenarios: List[Scenario] = []
+    for i in range(count):
+        trunk = trunk_name(i % config.num_trunks)
+        shape = i % 3
+        if shape == 0:
+            factor = factors[(i // 3) % len(factors)]
+            scenarios.append(
+                Scenario(f"#{i} {trunk} x{factor:g}").scale([trunk], factor)
+            )
+        elif shape == 1:
+            factor = factors[(i // 3) % len(factors)]
+            other = trunk_name((i + 5) % config.num_trunks)
+            scenarios.append(
+                Scenario(f"#{i} {trunk},{other} x{factor:g}").scale(
+                    [trunk, other], factor
+                )
+            )
+        else:
+            cost = pinned[(i // 3) % len(pinned)]
+            scenarios.append(
+                Scenario(f"#{i} {trunk}={cost:g}").set_value([trunk], cost)
+            )
+    return scenarios

@@ -305,3 +305,126 @@ def all_tpch_queries(catalog: Catalog) -> List[TpchProvenance]:
         q6_forecast_revenue(catalog),
         q10_returned_items(catalog),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Tuple-deletion / access-control what-ifs (the Boolean backend's workload)
+# ---------------------------------------------------------------------------
+
+
+def customer_variable(custkey: object) -> str:
+    """The tuple variable annotating customer ``custkey``."""
+    return f"cust_{custkey}"
+
+
+def customers_by_nation(catalog: Catalog) -> Dict[str, List[str]]:
+    """Nation name → the customer tuple variables of that nation's customers."""
+    nation_names = {
+        row["N_NATIONKEY"]: str(row["N_NAME"]) for row in catalog.get("NATION")
+    }
+    grouped: Dict[str, List[str]] = {}
+    for row in catalog.get("CUSTOMER"):
+        nation = nation_names[row["C_NATIONKEY"]]
+        grouped.setdefault(nation, []).append(customer_variable(row["C_CUSTKEY"]))
+    return grouped
+
+
+def customer_nation_tree(catalog: Catalog) -> AbstractionTree:
+    """Customer tuple variables grouped by nation under one root.
+
+    The Boolean what-if tree: cutting at a nation node lets the analyst
+    revoke or delete a whole nation's customers through one meta-variable.
+    """
+    grouped = customers_by_nation(catalog)
+    children: Dict[str, List[str]] = {"customers": []}
+    for nation in sorted(grouped):
+        node = nation_variable(nation)
+        children["customers"].append(node)
+        children[node] = sorted(grouped[nation])
+    return AbstractionTree("customers", children)
+
+
+def tpch_deletion_provenance(catalog: Catalog) -> TpchProvenance:
+    """Order revenue per market segment with per-customer tuple annotations.
+
+    Every CUSTOMER tuple is annotated with its own Boolean-style variable
+    (``cust_<key>``), so each result group's polynomial records which
+    customers its revenue derives from.  Evaluated in the Boolean semiring
+    this answers access-control/deletion what-ifs — *does segment S retain
+    any revenue if these customers are removed?* — and in the real semiring
+    the same provenance quantifies the lost revenue (variables at 0/1).
+    """
+    policy = TupleAnnotationPolicy(
+        namer=lambda row: customer_variable(row["C_CUSTKEY"])
+    )
+    providers = {
+        "CUSTOMER": policy.annotation_provider(catalog.get("CUSTOMER"))
+    }
+    query = (
+        Query.scan("LINEITEM")
+        .join(Query.scan("ORDERS"), on=[("L_ORDERKEY", "O_ORDERKEY")])
+        .join(Query.scan("CUSTOMER"), on=[("O_CUSTKEY", "C_CUSTKEY")])
+        .groupby(
+            ["C_MKTSEGMENT"],
+            aggregates=[
+                (
+                    "revenue",
+                    "sum",
+                    col("L_EXTENDEDPRICE") * (const(1.0) - col("L_DISCOUNT")),
+                )
+            ],
+        )
+    )
+    relation = execute(query, catalog, annotations=providers)
+    provenance = to_provenance_set(relation, ["C_MKTSEGMENT"], "revenue")
+    return TpchProvenance(
+        name="Q3-del",
+        description="segment revenue with per-customer tuple annotations "
+        "(deletion/access-control what-ifs, Boolean backend)",
+        provenance=provenance,
+        trees=customer_nation_tree(catalog),
+        group_columns=("C_MKTSEGMENT",),
+    )
+
+
+def tpch_deletion_scenarios(
+    catalog: Catalog, count: int
+) -> List["Scenario"]:
+    """A deterministic sweep of deletion/access-control what-ifs.
+
+    Cycles through single-customer deletions, whole-nation revocations and
+    whole-region blackouts (revoking every nation of a TPC-H region, the
+    shape most likely to extinguish a result group) — ``set`` operations
+    with amount 0 (delete) or 1 (keep), the Boolean backend's native
+    scenario shape.
+    """
+    from repro.engine.scenario import Scenario
+
+    grouped = customers_by_nation(catalog)
+    nations = sorted(grouped)
+    regions = sorted(NATIONS_BY_REGION)
+    all_customers = sorted(name for members in grouped.values() for name in members)
+    scenarios: List[Scenario] = []
+    for i in range(count):
+        shape = i % 3
+        if shape == 0:
+            customer = all_customers[(i // 3) % len(all_customers)]
+            scenarios.append(
+                Scenario(f"#{i} delete {customer}").set_value([customer], 0)
+            )
+        elif shape == 1:
+            nation = nations[(i // 3) % len(nations)]
+            scenarios.append(
+                Scenario(f"#{i} revoke {nation}").set_value(grouped[nation], 0)
+            )
+        else:
+            region = regions[(i // 3) % len(regions)]
+            members = [
+                name
+                for nation in NATIONS_BY_REGION[region]
+                for name in grouped.get(nation, ())
+            ]
+            scenarios.append(
+                Scenario(f"#{i} blackout {region}").set_value(members, 0)
+            )
+    return scenarios

@@ -1,0 +1,224 @@
+"""Property tests: backend evaluation is the N[X] homomorphism, and
+compression commutes with it the way the paper promises.
+
+Two families of properties:
+
+* **Homomorphism parity** — for every shipped backend, the compiled
+  evaluator (numpy kernels for real/tropical/bool, the pure-Python fallback
+  for why/lineage) agrees with the reference
+  :func:`~repro.provenance.semiring.evaluate_in_semiring` on random
+  provenance and random valuations, using the backend's own coefficient
+  embedding on both sides.
+
+* **Compression commutation** — abstraction only renames variables, so for
+  backends whose coefficient embedding is the canonical N → K map (real,
+  bool, why, lineage) a valuation that is constant on every abstracted group
+  evaluates the compressed provenance to *exactly* the full result; and for
+  every backend the per-group abstraction error is consistent with (never
+  exceeds) the summary ``compute_error_metrics`` reports.  (The tropical
+  backend embeds coefficients as costs — not a homomorphism from ``(N, +)``
+  to ``(R, min)`` — so only the consistency half applies to it.)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compression import Abstraction, apply_abstraction
+from repro.core.defaults import default_meta_valuation
+from repro.core.metrics import compute_error_metrics
+from repro.provenance.backends import SEMIRING_BACKEND_NAMES, resolve_backend
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.semiring import evaluate_in_semiring
+
+VARIABLES = ["x0", "x1", "x2", "x3", "x4", "x5"]
+
+#: Backends whose coefficient embedding is the canonical N -> K homomorphism
+#: (c |-> 1 + ... + 1), for which compression is exact on group-uniform
+#: valuations.  The tropical cost embedding deliberately is not one.
+HOMOMORPHIC_BACKENDS = ("real", "bool", "why", "lineage")
+
+
+@st.composite
+def provenances(draw, max_keys=3, max_terms=5):
+    """Random N[X] provenance with natural coefficients."""
+    provenance = ProvenanceSet()
+    num_keys = draw(st.integers(min_value=1, max_value=max_keys))
+    for key_index in range(num_keys):
+        terms = {}
+        for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+            exponents = draw(
+                st.dictionaries(
+                    st.sampled_from(VARIABLES),
+                    st.integers(min_value=1, max_value=2),
+                    max_size=3,
+                )
+            )
+            coefficient = draw(st.integers(min_value=1, max_value=4))
+            monomial = Monomial(exponents)
+            terms[monomial] = terms.get(monomial, 0.0) + float(coefficient)
+        provenance[(f"g{key_index}",)] = Polynomial(terms)
+    return provenance
+
+
+def value_strategy(name):
+    """A strategy for one variable's value in the given backend's carrier."""
+    if name == "real":
+        return st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+    if name == "tropical":
+        return st.one_of(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            st.just(float("inf")),
+        )
+    if name == "bool":
+        return st.booleans()
+    if name == "why":
+        return st.frozensets(
+            st.frozensets(st.sampled_from(VARIABLES), max_size=2), max_size=2
+        )
+    if name == "lineage":
+        return st.one_of(
+            st.none(), st.frozensets(st.sampled_from(VARIABLES), max_size=3)
+        )
+    raise AssertionError(name)
+
+
+def valuations(name):
+    return st.fixed_dictionaries({v: value_strategy(name) for v in VARIABLES})
+
+
+def assert_value_equal(got, want):
+    if isinstance(want, float):
+        if np.isinf(want):
+            assert got == want
+        else:
+            assert got == pytest.approx(want, abs=1e-9)
+    else:
+        assert got == want
+
+
+class TestHomomorphismParity:
+    @pytest.mark.parametrize("name", SEMIRING_BACKEND_NAMES)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_backend_matches_reference_evaluation(self, name, data):
+        backend = resolve_backend(name)
+        provenance = data.draw(provenances())
+        valuation = data.draw(valuations(name))
+        compiled = backend.compile(provenance)
+        results = compiled.evaluate(valuation)
+        for key, polynomial in provenance.items():
+            want = evaluate_in_semiring(
+                polynomial,
+                backend.semiring,
+                valuation,
+                coefficient_embedding=backend.embed_coefficient,
+            )
+            assert_value_equal(results[key], want)
+
+    @pytest.mark.parametrize("name", ["tropical", "bool"])
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_matrix_kernel_matches_per_valuation(self, name, data):
+        backend = resolve_backend(name)
+        provenance = data.draw(provenances())
+        rows = data.draw(st.lists(valuations(name), min_size=1, max_size=4))
+        compiled = backend.compile(provenance)
+        if not compiled.variables:
+            return
+        matrix = np.array(
+            [[float(row[v]) for v in compiled.variables] for row in rows]
+        )
+        batch = compiled.evaluate_matrix(matrix)
+        for i, row in enumerate(rows):
+            single = compiled.evaluate(row)
+            for j, key in enumerate(compiled.keys):
+                assert_value_equal(float(batch[i, j]), float(single[key]))
+
+
+@st.composite
+def abstractions(draw):
+    """A random 2-group partition of a subset of the variable universe."""
+    shuffled = draw(st.permutations(VARIABLES))
+    cut_a = draw(st.integers(min_value=1, max_value=3))
+    cut_b = draw(st.integers(min_value=cut_a + 1, max_value=min(cut_a + 3, 6)))
+    return Abstraction.from_groups(
+        {"gA": shuffled[:cut_a], "gB": shuffled[cut_a:cut_b]}
+    )
+
+
+class TestCompressionCommutation:
+    @pytest.mark.parametrize("name", HOMOMORPHIC_BACKENDS)
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_group_uniform_valuations_are_exact(self, name, data):
+        """Abstraction commutes with evaluation when the valuation is
+        constant on every abstracted group (the paper's exactness case)."""
+        backend = resolve_backend(name)
+        provenance = data.draw(provenances())
+        abstraction = data.draw(abstractions())
+        shared = {
+            meta: data.draw(value_strategy(name), label=f"value for {meta}")
+            for meta in abstraction.meta_variables()
+        }
+        full_valuation = {}
+        for variable in VARIABLES:
+            meta = abstraction.mapping.get(variable)
+            if meta is not None:
+                full_valuation[variable] = shared[meta]
+            else:
+                full_valuation[variable] = data.draw(
+                    value_strategy(name), label=f"value for {variable}"
+                )
+        compressed = apply_abstraction(provenance, abstraction).compressed
+        compressed_valuation = dict(
+            {v: full_valuation[v] for v in full_valuation
+             if v not in abstraction.mapping},
+            **shared,
+        )
+        full_results = backend.compile(provenance).evaluate(full_valuation)
+        compressed_results = backend.compile(compressed).evaluate(
+            compressed_valuation
+        )
+        zero = backend.semiring.zero
+        for key in provenance.keys():
+            assert backend.error(
+                full_results[key], compressed_results.get(key, zero)
+            ) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", SEMIRING_BACKEND_NAMES)
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_per_group_error_within_reported_error(self, name, data):
+        """Compress-then-evaluate stays within the reported abstraction
+        error: no group's error exceeds the summary's max_abs_error."""
+        backend = resolve_backend(name)
+        provenance = data.draw(provenances())
+        abstraction = data.draw(abstractions())
+        full_valuation = data.draw(valuations(name))
+        compressed = apply_abstraction(provenance, abstraction).compressed
+        meta_valuation = default_meta_valuation(
+            abstraction,
+            full_valuation,
+            on_missing="skip",
+            semiring=backend,
+        )
+        missing = [
+            v for v in compressed.variables() if v not in meta_valuation
+        ]
+        if missing:
+            meta_valuation = meta_valuation.updated(
+                {v: backend.default_value(v) for v in missing}
+            )
+        full_results = backend.compile(provenance).evaluate(full_valuation)
+        compressed_results = backend.compile(compressed).evaluate(meta_valuation)
+        report = compute_error_metrics(
+            full_results, compressed_results, semiring=backend
+        )
+        zero = backend.semiring.zero
+        for key in provenance.keys():
+            error = backend.error(
+                full_results[key], compressed_results.get(key, zero)
+            )
+            assert error <= report["max_abs_error"] + 1e-9

@@ -1,0 +1,204 @@
+"""Unit tests for semiring-generic batch evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchEvaluator
+from repro.core.compression import Abstraction, apply_abstraction
+from repro.engine.scenario import Scenario
+from repro.engine.session import CobraSession
+from repro.provenance.backends import resolve_backend
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.workloads.routing import (
+    RoutingConfig,
+    generate_routing_provenance,
+    routing_base_costs,
+    routing_scenario_sweep,
+    trunk_group_tree,
+)
+
+
+@pytest.fixture
+def provenance():
+    prov = ProvenanceSet()
+    prov[("a",)] = Polynomial.from_terms([(2.0, ["x", "y"]), (3.0, ["y"])])
+    prov[("b",)] = Polynomial.from_terms([(4.0, ["x", "z"])])
+    return prov
+
+
+class TestNumericBatch:
+    def test_tropical_batch_matches_sequential(self, provenance):
+        evaluator = BatchEvaluator()
+        backend = resolve_backend("tropical")
+        base = {"x": 1.0, "y": 2.0, "z": 3.0}
+        scenarios = [
+            Scenario("congest x").scale(["x"], 2.0),
+            Scenario("pin z").set_value(["z"], 0.5),
+            Scenario("noop"),
+        ]
+        report = evaluator.evaluate(
+            provenance, scenarios, base_valuation=base, semiring="tropical"
+        )
+        assert report.semiring == "tropical"
+        compiled = backend.compile(provenance)
+        for i, scenario in enumerate(scenarios):
+            from repro.provenance.valuation import Valuation
+
+            valuation = scenario.apply(
+                Valuation(base, semiring="tropical"), ["x", "y", "z"]
+            )
+            expected = compiled.evaluate(valuation)
+            for j, key in enumerate(report.keys):
+                assert report.full_results[i, j] == pytest.approx(expected[key])
+
+    def test_bool_batch_results_are_indicator_floats(self, provenance):
+        evaluator = BatchEvaluator()
+        scenarios = [
+            Scenario("delete x").set_value(["x"], 0),
+            Scenario("delete x and y").set_value(["x", "y"], 0),
+        ]
+        report = evaluator.evaluate(provenance, scenarios, semiring="bool")
+        # group a survives without x (monomial 3*y), group b does not.
+        assert report.full_results[0].tolist() == [1.0, 0.0]
+        assert report.full_results[1].tolist() == [0.0, 0.0]
+        assert report.baseline.tolist() == [1.0, 1.0]
+
+    def test_compile_cache_is_per_backend(self, provenance):
+        evaluator = BatchEvaluator()
+        real = evaluator.compile(provenance)
+        tropical = evaluator.compile(provenance, "tropical")
+        assert real is not tropical
+        assert evaluator.compile(provenance) is real
+        assert evaluator.compile(provenance, "tropical") is tropical
+
+
+class TestGenericBatch:
+    def test_lineage_batch_object_matrices(self, provenance):
+        evaluator = BatchEvaluator()
+        scenarios = [
+            Scenario("delete x").set_value(["x"], 0),
+            Scenario("noop"),
+        ]
+        report = evaluator.evaluate(provenance, scenarios, semiring="lineage")
+        assert report.full_results.dtype == object
+        assert report.full_results[0, 0] == frozenset({"y"})
+        assert report.full_results[0, 1] is None
+        assert report.full_results[1, 1] == frozenset({"x", "z"})
+        # deltas are backend distances from the baseline.
+        deltas = report.deltas
+        assert deltas.dtype == np.float64
+        assert deltas[1].tolist() == [0.0, 0.0]
+        assert deltas[0, 0] > 0.0
+
+    def test_why_batch_with_compression_reports_errors(self, provenance):
+        abstraction = Abstraction.from_groups({"g": ["x", "y"]})
+        compressed = apply_abstraction(provenance, abstraction).compressed
+        evaluator = BatchEvaluator()
+        scenarios = [Scenario("noop"), Scenario("delete z").set_value(["z"], 0)]
+        report = evaluator.evaluate(
+            provenance,
+            scenarios,
+            compressed=compressed,
+            abstraction=abstraction,
+            semiring="why",
+        )
+        assert report.compressed_results is not None
+        assert report.absolute_errors is not None
+        assert report.max_absolute_error >= 0.0
+        assert report.summary()["semiring"] == "why"
+        assert "semiring: why" in report.render_text()
+        outcome = report.outcome(0)
+        assert isinstance(outcome.results[("a",)], frozenset)
+        outcome.as_dict()  # JSON-friendly even with set values
+
+
+class TestSessionBatchRouting:
+    def test_evaluate_many_tropical_round_trip(self):
+        config = RoutingConfig(num_zips=6, num_trunks=6, routes_per_zip=3)
+        provenance = generate_routing_provenance(config)
+        session = CobraSession(
+            provenance,
+            base_valuation=routing_base_costs(config).as_dict(),
+            semiring="tropical",
+        )
+        session.set_abstraction_trees(trunk_group_tree(config))
+        session.set_bound(max(1, provenance.size() // 2))
+        session.compress(allow_infeasible=True)
+        scenarios = routing_scenario_sweep(9, config)
+        report = session.evaluate_many(scenarios)
+        assert report.semiring == "tropical"
+        assert report.full_results.shape == (9, len(provenance))
+        # Every batch row agrees with the sequential interactive path.
+        for i, scenario in enumerate(scenarios):
+            sequential = session.assign_scenario(
+                scenario, measure_assignment_speedup=False
+            )
+            for j, key in enumerate(report.keys):
+                group = next(g for g in sequential.groups if g.key == key)
+                assert report.full_results[i, j] == pytest.approx(group.full_result)
+
+
+class TestEdgeCaseRegressions:
+    """Regressions from review: NaN/skip hazards at zero and infinity."""
+
+    def test_scaled_does_not_resurrect_deleted_lineage_variable(self):
+        from repro.engine.scenario import Scenario
+        from repro.provenance.valuation import Valuation
+
+        valuation = Valuation({}, semiring="lineage")
+        deleted_then_scaled = (
+            Scenario("d").set_value(["x"], 0).scale(["x"], 1.2)
+        ).apply(valuation, ["x"])
+        assert deleted_then_scaled["x"] is None  # still deleted
+
+    def test_error_metrics_infinite_baseline_reports_inf_not_nan(self):
+        from repro.core.metrics import compute_error_metrics
+
+        errors = compute_error_metrics(
+            {("g",): float("inf")}, {("g",): 5.0}, semiring="tropical"
+        )
+        assert errors["max_abs_error"] == float("inf")
+        assert errors["max_rel_error"] == float("inf")  # not NaN
+        assert errors["mean_rel_error"] == float("inf")
+
+    def test_batch_report_zero_baseline_relative_error_not_skipped(self):
+        from repro.batch.report import BatchReport
+
+        report = BatchReport(
+            scenario_names=("s",),
+            keys=(("g",),),
+            baseline=np.array([0.0]),
+            full_results=np.array([[0.0]]),
+            compressed_results=np.array([[1.0]]),
+            semiring="bool",
+        )
+        assert report.max_relative_error > 1.0  # was silently 0.0
+
+    def test_batch_report_tropical_inf_deltas_are_zero_not_nan(self):
+        from repro.batch.report import BatchReport
+
+        inf = float("inf")
+        report = BatchReport(
+            scenario_names=("s",),
+            keys=(("g",), ("h",)),
+            baseline=np.array([inf, 2.0]),
+            full_results=np.array([[inf, 3.0]]),
+            semiring="tropical",
+        )
+        assert report.deltas.tolist() == [[0.0, 1.0]]
+        assert report.total_deltas.tolist() == [1.0]
+
+    def test_batch_report_inf_error_cells_are_zero_when_equal(self):
+        from repro.batch.report import BatchReport
+
+        inf = float("inf")
+        report = BatchReport(
+            scenario_names=("s",),
+            keys=(("g",),),
+            baseline=np.array([inf]),
+            full_results=np.array([[inf]]),
+            compressed_results=np.array([[inf]]),
+            semiring="tropical",
+        )
+        assert report.absolute_errors.tolist() == [[0.0]]
+        assert report.max_relative_error == 0.0

@@ -17,7 +17,7 @@ class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "telephony", "batch", "tpch", "compress"):
+        for command in ("demo", "telephony", "batch", "tpch", "compress", "whatif"):
             assert command in text
 
 
@@ -163,3 +163,56 @@ class TestCompressCommand:
         compressed = json.loads(output_path.read_text())
         total = sum(len(group["polynomial"]["terms"]) for group in compressed["groups"])
         assert total <= 8
+
+
+class TestSemiringFlag:
+    def test_demo_accepts_every_backend(self, capsys):
+        from repro.provenance.backends import SEMIRING_BACKEND_NAMES
+
+        for name in SEMIRING_BACKEND_NAMES:
+            assert main(["demo", "--bound", "6", "--semiring", name]) == 0
+            output = capsys.readouterr().out
+            if name != "real":
+                assert f"{name} semiring" in output
+
+    def test_demo_bool_deletion_scenario(self, capsys):
+        assert main(["demo", "--bound", "6", "--semiring", "bool"]) == 0
+        output = capsys.readouterr().out
+        assert "delete the March price tuples" in output
+        assert "true" in output
+
+    def test_unknown_semiring_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["demo", "--semiring", "viterbi"])
+
+
+class TestWhatifCommand:
+    def test_tropical_routing(self, capsys):
+        assert main(["whatif", "--semiring", "tropical", "--scenarios", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "tropical semiring" in output
+        assert "min-cost call routing" in output
+        assert "compressed under bound" in output
+
+    def test_bool_tpch_deletions(self, capsys):
+        code = main(
+            ["whatif", "--semiring", "bool", "--scenarios", "5", "--scale", "0.0003"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "TPC-H segment revenue" in output
+        assert "true" in output
+
+    def test_why_witness_analysis(self, capsys):
+        assert main(["whatif", "--semiring", "why", "--scenarios", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "witness analysis" in output
+        assert "delete" in output
+
+    def test_lineage_runs(self, capsys):
+        assert main(["whatif", "--semiring", "lineage", "--scenarios", "3"]) == 0
+        assert "lineage semiring" in capsys.readouterr().out
+
+    def test_real_runs(self, capsys):
+        assert main(["whatif", "--semiring", "real", "--scenarios", "3"]) == 0
+        assert "real semiring" in capsys.readouterr().out

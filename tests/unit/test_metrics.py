@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.metrics import (
     compression_ratio,
+    compute_error_metrics,
     num_variables,
     provenance_size,
     result_distortion,
@@ -69,3 +70,58 @@ class TestDistortion:
         errors = result_distortion(ProvenanceSet(), ProvenanceSet(), {}, {})
         assert errors["max_abs_error"] == 0.0
         assert errors["mean_abs_error"] == 0.0
+
+    def test_corrupted_zero_baseline_is_reported(self):
+        """Regression: relative errors were dropped when the full value is 0,
+        so corrupting a zero-valued result reported max_rel_error == 0."""
+        full = ProvenanceSet()
+        full[("z",)] = Polynomial.zero()  # full result is 0
+        compressed = ProvenanceSet()
+        compressed[("z",)] = Polynomial({Monomial.of("g"): 5.0})
+        errors = result_distortion(full, compressed, {}, {"g": 1.0})
+        assert errors["max_abs_error"] == pytest.approx(5.0)
+        assert errors["max_rel_error"] > 1.0  # no longer silently 0
+        assert errors["zero_baseline_count"] == 1
+
+    def test_nonzero_baselines_unaffected_by_clamp(self, full, compressed):
+        full_valuation = {"x": 2.0, "y": 1.0, "m1": 1.0, "m2": 1.0}
+        compressed_valuation = {"g": 1.5, "m1": 1.0, "m2": 1.0}
+        errors = result_distortion(full, compressed, full_valuation, compressed_valuation)
+        assert errors["zero_baseline_count"] == 0
+        assert errors["max_rel_error"] == pytest.approx(0.25)
+
+
+class TestComputeErrorMetrics:
+    def test_real_backend_matches_manual_deltas(self):
+        errors = compute_error_metrics({("a",): 4.0, ("b",): 10.0}, {("a",): 5.0})
+        # group b is missing from the compressed results -> compared to 0.
+        assert errors["max_abs_error"] == pytest.approx(10.0)
+        assert errors["mean_abs_error"] == pytest.approx(5.5)
+        assert errors["max_rel_error"] == pytest.approx(1.0)
+
+    def test_bool_backend_counts_flips(self):
+        errors = compute_error_metrics(
+            {("a",): True, ("b",): False, ("c",): True},
+            {("a",): True, ("b",): True, ("c",): False},
+            semiring="bool",
+        )
+        assert errors["max_abs_error"] == 1.0
+        assert errors["mean_abs_error"] == pytest.approx(2 / 3)
+        # group b's full result is False (magnitude 0) -> a zero baseline.
+        assert errors["zero_baseline_count"] == 1
+
+    def test_why_backend_symmetric_difference(self):
+        a = frozenset({frozenset({"x"}), frozenset({"y"})})
+        b = frozenset({frozenset({"x"})})
+        errors = compute_error_metrics({("g",): a}, {("g",): b}, semiring="why")
+        assert errors["max_abs_error"] == 1.0
+        assert errors["max_rel_error"] == pytest.approx(0.5)
+
+    def test_tropical_backend(self):
+        errors = compute_error_metrics(
+            {("g",): 5.0, ("h",): float("inf")},
+            {("g",): 7.0, ("h",): float("inf")},
+            semiring="tropical",
+        )
+        assert errors["max_abs_error"] == pytest.approx(2.0)
+        assert errors["zero_baseline_count"] == 0

@@ -24,8 +24,14 @@ class TestGroupComparison:
         assert group.relative_error == pytest.approx(0.1)
         assert group.change_from_baseline == pytest.approx(-10.0)
 
-    def test_zero_full_result_has_zero_relative_error(self):
+    def test_corrupted_zero_full_result_reports_large_relative_error(self):
+        """A compression fabricating a value where the full result is 0 is
+        reported against the epsilon-clamped denominator, not skipped."""
         group = GroupComparison(("z",), baseline=0.0, full_result=0.0, compressed_result=1.0)
+        assert group.relative_error > 1.0
+
+    def test_exact_zero_result_has_zero_relative_error(self):
+        group = GroupComparison(("z",), baseline=0.0, full_result=0.0, compressed_result=0.0)
         assert group.relative_error == 0.0
 
 

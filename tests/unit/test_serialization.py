@@ -96,3 +96,102 @@ class TestPolynomialListRoundTrip:
         restored = load_polynomials(path)
         assert len(restored) == 2
         assert restored[0].almost_equal(sample_polynomial)
+
+
+class TestVersionedFormat:
+    def test_saved_files_carry_the_version_stamp(self, sample_provenance, tmp_path):
+        from repro.provenance.serialization import FORMAT_VERSION
+
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == FORMAT_VERSION
+        assert data["kind"] == "provenance_set"
+
+    def test_version_mismatch_raises(self, sample_provenance, tmp_path):
+        from repro.exceptions import SerializationError
+
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError, match="unsupported format version"):
+            load_provenance_set(path)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        from repro.exceptions import SerializationError
+
+        path = tmp_path / "prov.json"
+        save_valuation(Valuation({"x": 1.0}), path)
+        with pytest.raises(SerializationError, match="expected a 'provenance_set'"):
+            load_provenance_set(path)
+
+    def test_malformed_json_raises(self, tmp_path):
+        from repro.exceptions import SerializationError
+
+        path = tmp_path / "prov.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_provenance_set(path)
+
+    def test_malformed_payload_raises(self, tmp_path):
+        path = tmp_path / "prov.json"
+        path.write_text(json.dumps({"groups": [{"key": ["a"]}]}))  # no polynomial
+        with pytest.raises(InvalidPolynomialError):
+            load_provenance_set(path)
+
+    def test_legacy_unversioned_files_still_load(self, sample_provenance, tmp_path):
+        from repro.provenance.serialization import provenance_set_to_dict
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(provenance_set_to_dict(sample_provenance)))
+        assert load_provenance_set(path).almost_equal(sample_provenance)
+        legacy_valuation = tmp_path / "valuation.json"
+        legacy_valuation.write_text(json.dumps({"x": 2.0}))
+        assert load_valuation(legacy_valuation)["x"] == pytest.approx(2.0)
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_preserves_the_old_file(
+        self, sample_provenance, tmp_path, monkeypatch
+    ):
+        """Regression: save_* used to truncate the target in place, so a
+        crash mid-write corrupted it.  Now the old content survives any
+        failure up to (and including) the final rename."""
+        import os as os_module
+
+        import repro.provenance.serialization as serialization
+
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk died at the worst moment")
+
+        monkeypatch.setattr(serialization.os, "replace", exploding_replace)
+        other = ProvenanceSet()
+        other[("k",)] = Polynomial.one()
+        with pytest.raises(OSError):
+            save_provenance_set(other, path)
+        monkeypatch.setattr(serialization.os, "replace", os_module.replace)
+        assert path.read_text() == before
+        # the partial temp file was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["prov.json"]
+
+    def test_no_temp_files_after_success(self, sample_provenance, tmp_path):
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["prov.json"]
+
+
+class TestLegacyVersionCollision:
+    def test_legacy_valuation_with_a_variable_named_version_loads(self, tmp_path):
+        """Regression: a pre-versioning valuation whose variables include one
+        literally named "version" is a legacy payload, not an envelope."""
+        path = tmp_path / "valuation.json"
+        path.write_text(json.dumps({"version": 2.0, "m3": 0.8}))
+        valuation = load_valuation(path)
+        assert valuation["version"] == pytest.approx(2.0)
+        assert valuation["m3"] == pytest.approx(0.8)

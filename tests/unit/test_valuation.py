@@ -9,6 +9,7 @@ from repro.provenance.polynomial import Polynomial, ProvenanceSet
 from repro.provenance.valuation import (
     CompiledPolynomial,
     CompiledProvenanceSet,
+    FingerprintCache,
     Valuation,
 )
 
@@ -148,3 +149,55 @@ class TestCompiledProvenanceSet:
         compiled = CompiledProvenanceSet(ProvenanceSet())
         assert compiled.size() == 0
         assert compiled.evaluate({}) == {}
+
+
+class TestFingerprintCache:
+    def test_get_counts_misses(self):
+        """Regression: misses used to be counted only via get_or_build."""
+        cache = FingerprintCache(capacity=2)
+        assert cache.get("absent") is None
+        assert cache.info()["misses"] == 1
+        assert cache.info()["hits"] == 0
+
+    def test_cached_falsy_values_are_hits(self):
+        """Regression: a cached None/0/False was reported as a miss."""
+        cache = FingerprintCache(capacity=4)
+        cache.put("none", None)
+        cache.put("zero", 0)
+        cache.put("false", False)
+        assert cache.get("none") is None
+        assert cache.get("zero") == 0
+        assert cache.get("false") is False
+        info = cache.info()
+        assert info["hits"] == 3
+        assert info["misses"] == 0
+
+    def test_get_or_build_does_not_rebuild_falsy_values(self):
+        cache = FingerprintCache(capacity=2)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_build("k", factory) is None
+        assert cache.get_or_build("k", factory) is None
+        assert len(calls) == 1
+        info = cache.info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+    def test_get_default_argument(self):
+        cache = FingerprintCache(capacity=2)
+        sentinel = object()
+        assert cache.get("absent", sentinel) is sentinel
+
+    def test_lru_eviction_and_recency(self):
+        cache = FingerprintCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch a -> b is least recent
+        cache.put("c", 3)
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
