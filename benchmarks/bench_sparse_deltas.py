@@ -1,0 +1,302 @@
+"""Benchmark: sparse baseline-once delta evaluation vs the dense matrix path.
+
+The workload is the one the sparse engine is built for — the ISSUE's sparse
+batch shape: a large provenance (thousands of monomials over a wide variable
+universe) swept by hundreds of scenarios that each touch only a few percent
+of the variables.  Three pipelines are measured end-to-end through
+``BatchEvaluator.evaluate``:
+
+1. **dense**  — ``mode="dense"``: one scenarios × variables matrix through
+   the segmented matrix kernels (the PR 1 path);
+2. **sparse** — ``mode="sparse"``: the base valuation evaluated once, each
+   scenario applied as ``(changed_columns, new_values)`` deltas through the
+   inverted variable→monomial index;
+3. **sharded** — the sparse pipeline with scenario rows partitioned across
+   worker processes.
+
+Parity of dense and sparse results is asserted in the same run, and
+``mode="auto"`` is checked to pick the sparse path for this workload without
+any caller hints.  The acceptance bar is a ≥10x sparse-over-dense speedup at
+the full size (≥200 scenarios, ≥5k monomials, ≤5% variables touched).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_deltas.py
+    PYTHONPATH=src python benchmarks/bench_sparse_deltas.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch import BatchEvaluator
+from repro.engine.scenario import Scenario
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+
+
+def sparse_workload(
+    num_variables: int,
+    num_monomials: int,
+    num_groups: int,
+    width: int = 3,
+    seed: int = 11,
+) -> ProvenanceSet:
+    """A provenance set with ``num_monomials`` width-``width`` monomials
+    spread over ``num_groups`` result groups and ``num_variables`` variables."""
+    rng = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(num_variables)]
+    provenance = ProvenanceSet()
+    per_group = max(1, num_monomials // num_groups)
+    for group in range(num_groups):
+        terms: Dict[Monomial, float] = {}
+        # Exact-width monomials (distinct variables): resample the few rows
+        # the with-replacement draw gives duplicate variables.
+        chosen = rng.integers(0, num_variables, size=(per_group, width))
+        while True:
+            ordered = np.sort(chosen, axis=1)
+            duplicated = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            if not duplicated.any():
+                break
+            chosen[duplicated] = rng.integers(
+                0, num_variables, size=(int(duplicated.sum()), width)
+            )
+        coefficients = rng.uniform(0.5, 20.0, size=per_group)
+        for k in range(per_group):
+            monomial = Monomial({names[int(v)]: 1 for v in chosen[k]})
+            terms[monomial] = terms.get(monomial, 0.0) + float(coefficients[k])
+        provenance[(f"g{group}",)] = Polynomial(terms)
+    return provenance
+
+
+def sparse_scenario_sweep(
+    count: int, num_variables: int, touched: int, seed: int = 13
+) -> List[Scenario]:
+    """``count`` scenarios, each scaling ``touched`` random variables."""
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    for i in range(count):
+        chosen = rng.choice(num_variables, size=touched, replace=False)
+        factor = float(rng.uniform(0.5, 1.5))
+        scenarios.append(
+            Scenario(f"#{i} x{factor:.2f}").scale(
+                [f"x{int(v)}" for v in chosen], factor
+            )
+        )
+    return scenarios
+
+
+def _best_of(func: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(
+    num_variables: int,
+    num_monomials: int,
+    num_groups: int,
+    num_scenarios: int,
+    touched: int,
+    repeats: int,
+    processes: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time dense vs sparse vs sharded and assert parity; returns a record."""
+    provenance = sparse_workload(num_variables, num_monomials, num_groups)
+    scenarios = sparse_scenario_sweep(num_scenarios, num_variables, touched)
+    evaluator = BatchEvaluator()
+    evaluator.compile(provenance)  # steady-state: the service compiles once
+    if processes is None:
+        processes = min(4, os.cpu_count() or 1)
+
+    dense_report = evaluator.evaluate(provenance, scenarios, mode="dense")
+    sparse_report = evaluator.evaluate(provenance, scenarios, mode="sparse")
+    auto_report = evaluator.evaluate(provenance, scenarios, mode="auto")
+
+    # Parity is asserted in the same run that is timed: the sparse numbers
+    # only count if they are the dense numbers.
+    np.testing.assert_allclose(
+        sparse_report.full_results,
+        dense_report.full_results,
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    np.testing.assert_allclose(
+        sparse_report.baseline, dense_report.baseline, rtol=1e-9, atol=1e-9
+    )
+    auto_picked_sparse = auto_report.mode == "sparse"
+
+    dense_seconds = _best_of(
+        lambda: evaluator.evaluate(provenance, scenarios, mode="dense"), repeats
+    )
+    sparse_seconds = _best_of(
+        lambda: evaluator.evaluate(provenance, scenarios, mode="sparse"), repeats
+    )
+    sharded_seconds = _best_of(
+        lambda: evaluator.evaluate(
+            provenance, scenarios, mode="sparse", processes=processes
+        ),
+        repeats,
+    )
+
+    return {
+        "monomials": provenance.size(),
+        "variables": provenance.num_variables(),
+        "groups": len(provenance),
+        "scenarios": len(scenarios),
+        "touched_per_scenario": touched,
+        "touched_fraction": touched / num_variables,
+        "processes": processes,
+        "dense_seconds": dense_seconds,
+        "sparse_seconds": sparse_seconds,
+        "sharded_seconds": sharded_seconds,
+        "sparse_speedup": dense_seconds / max(sparse_seconds, 1e-12),
+        "sharded_speedup": dense_seconds / max(sharded_seconds, 1e-12),
+        "auto_picked_sparse": auto_picked_sparse,
+    }
+
+
+def run_benchmark(
+    num_variables: int,
+    num_monomials: int,
+    num_groups: int,
+    num_scenarios: int,
+    touched: int,
+    repeats: int,
+    min_speedup: float,
+    processes: Optional[int] = None,
+    json_path: Optional[str] = None,
+) -> int:
+    record = measure(
+        num_variables=num_variables,
+        num_monomials=num_monomials,
+        num_groups=num_groups,
+        num_scenarios=num_scenarios,
+        touched=touched,
+        repeats=repeats,
+        processes=processes,
+    )
+    print(
+        f"workload: {record['monomials']} monomials over "
+        f"{record['variables']} variables, {record['groups']} groups; "
+        f"{record['scenarios']} scenarios touching "
+        f"{record['touched_per_scenario']} variables each "
+        f"({record['touched_fraction']:.1%} of the universe)"
+    )
+    print()
+    print(f"{'path':<42} {'total':>12} {'per scenario':>14}")
+    print("-" * 70)
+    for label, key in (
+        ("dense (scenarios x variables matrix)", "dense_seconds"),
+        ("sparse (baseline-once deltas)", "sparse_seconds"),
+        (f"sharded sparse ({record['processes']} processes)", "sharded_seconds"),
+    ):
+        seconds = record[key]
+        print(
+            f"{label:<42} {seconds * 1e3:>10.1f}ms "
+            f"{seconds / max(1, record['scenarios']) * 1e6:>12.0f}us"
+        )
+    print()
+    print(
+        f"sparse speedup: {record['sparse_speedup']:.1f}x vs dense "
+        f"(sharded: {record['sharded_speedup']:.1f}x); parity asserted"
+    )
+    print(
+        "mode='auto' picked sparse"
+        if record["auto_picked_sparse"]
+        else "WARNING: mode='auto' did NOT pick sparse"
+    )
+
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"results written to {json_path}")
+
+    if not record["auto_picked_sparse"]:
+        print(
+            "FAIL: mode='auto' must select the sparse path for this workload",
+            file=sys.stderr,
+        )
+        return 1
+    if record["sparse_speedup"] < min_speedup:
+        print(
+            f"FAIL: sparse speedup {record['sparse_speedup']:.1f}x is below "
+            f"the {min_speedup:.1f}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: sparse speedup {record['sparse_speedup']:.1f}x >= "
+        f"{min_speedup:.1f}x"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instance for CI smoke runs (lower speedup bar)",
+    )
+    parser.add_argument("--variables", type=int, default=None)
+    parser.add_argument("--monomials", type=int, default=None)
+    parser.add_argument("--groups", type=int, default=None)
+    parser.add_argument("--scenarios", type=int, default=None)
+    parser.add_argument(
+        "--touched", type=int, default=None,
+        help="variables each scenario touches (keep <= 5%% of --variables)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes for the sharded timing (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero below this sparse-vs-dense speedup",
+    )
+    parser.add_argument("--json", help="where to write a JSON result record")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        num_variables = args.variables or 300
+        num_monomials = args.monomials or 12_000
+        num_groups = args.groups or 24
+        num_scenarios = args.scenarios or 80
+        touched = args.touched or 4
+        repeats = args.repeats or 2
+        min_speedup = args.min_speedup if args.min_speedup is not None else 2.0
+    else:
+        # Paper-scale provenance (Section 4's instance has 139,260
+        # monomials); each scenario touches 1% of a 1,000-variable universe.
+        num_variables = args.variables or 1_000
+        num_monomials = args.monomials or 100_000
+        num_groups = args.groups or 50
+        num_scenarios = args.scenarios or 250
+        touched = args.touched or 10
+        repeats = args.repeats or 3
+        min_speedup = args.min_speedup if args.min_speedup is not None else 10.0
+
+    return run_benchmark(
+        num_variables=num_variables,
+        num_monomials=num_monomials,
+        num_groups=num_groups,
+        num_scenarios=num_scenarios,
+        touched=touched,
+        repeats=repeats,
+        min_speedup=min_speedup,
+        processes=args.processes,
+        json_path=args.json,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,12 +8,21 @@ tables, so the document can be refreshed after any change with::
 
     python benchmarks/generate_report.py            # ~1-2 minutes
     python benchmarks/generate_report.py --full     # 1M-customer Section 4 instance
+
+It also persists the batch-engine perf baseline (dense vs sparse vs sharded
+timings and speedups) as ``BENCH_batch.json`` so CI can archive the perf
+trajectory::
+
+    python benchmarks/generate_report.py --batch-only --batch-json BENCH_batch.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 import time
+from pathlib import Path
 
 from repro.core.abstraction_tree import AbstractionForest
 from repro.core.brute_force import optimize_brute_force
@@ -160,19 +169,81 @@ def report_ablation() -> None:
         )
 
 
+def report_batch(json_path: str, quick: bool = False) -> None:
+    """E9 — the batch-engine perf baseline, persisted as ``BENCH_batch.json``.
+
+    Times the dense matrix pipeline against sparse baseline-once delta
+    evaluation (and its process-sharded variant) on the sparse-sweep
+    workload of ``bench_sparse_deltas`` and writes the record to
+    ``json_path`` so CI uploads it as an artifact — the perf trajectory of
+    the batch engine is finally on the record, run over run.
+    """
+    sys.path.insert(0, str(Path(__file__).parent))
+    from bench_sparse_deltas import measure
+
+    header("E9 — batch engine baseline (dense vs sparse vs sharded)")
+    if quick:
+        record = measure(
+            num_variables=300, num_monomials=12_000, num_groups=24,
+            num_scenarios=80, touched=4, repeats=2,
+        )
+    else:
+        record = measure(
+            num_variables=1_000, num_monomials=100_000, num_groups=50,
+            num_scenarios=250, touched=10, repeats=3,
+        )
+    print("| path | total | per scenario | speedup |")
+    print("|---|---|---|---|")
+    for label, key, speedup_key in (
+        ("dense matrix", "dense_seconds", None),
+        ("sparse deltas", "sparse_seconds", "sparse_speedup"),
+        (f"sharded sparse ({record['processes']}p)", "sharded_seconds", "sharded_speedup"),
+    ):
+        seconds = record[key]
+        speedup = f"{record[speedup_key]:.1f}x" if speedup_key else "1.0x"
+        print(
+            f"| {label} | {seconds * 1e3:.1f} ms "
+            f"| {seconds / max(1, record['scenarios']) * 1e6:.0f} us "
+            f"| {speedup} |"
+        )
+    print(
+        f"\nauto mode picked sparse: {record['auto_picked_sparse']} "
+        f"({record['scenarios']} scenarios x {record['monomials']} monomials, "
+        f"{record['touched_fraction']:.1%} of variables touched)"
+    )
+    Path(json_path).write_text(json.dumps(record, indent=2))
+    print(f"baseline written to {json_path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--full", action="store_true", help="run Section 4 with 1,000,000 customers"
     )
+    parser.add_argument(
+        "--batch-json", default="BENCH_batch.json",
+        help="where to write the batch-engine perf baseline",
+    )
+    parser.add_argument(
+        "--batch-only", action="store_true",
+        help="only run the batch-engine baseline (CI artifact mode)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small batch-baseline instance for CI",
+    )
     args = parser.parse_args()
     print("# COBRA reproduction — measured results")
+    if args.batch_only:
+        report_batch(args.batch_json, quick=args.quick)
+        return
     report_example4()
     report_section4(args.full)
     report_bound_sweep()
     report_quarter_tree()
     report_tpch()
     report_ablation()
+    report_batch(args.batch_json, quick=args.quick)
 
 
 if __name__ == "__main__":

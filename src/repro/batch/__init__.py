@@ -5,11 +5,15 @@ hypothetical at a time.  This subpackage is the service-oriented counterpart
 built for heavy multi-scenario traffic:
 
 * :mod:`repro.batch.planner` — :class:`ScenarioBatch` lowers a list of
-  :class:`~repro.engine.scenario.Scenario` objects into one
-  ``scenarios × variables`` valuation matrix over a shared variable index;
+  :class:`~repro.engine.scenario.Scenario` objects over a shared variable
+  index, either into one ``scenarios × variables`` valuation matrix or into
+  a sparse :class:`DeltaPlan` (shared base row + per-scenario changed
+  cells);
 * :mod:`repro.batch.evaluator` — :class:`BatchEvaluator` compiles provenance
   sets once (LRU-cached by content fingerprint) and evaluates whole sweeps
-  with chunked, optionally multi-threaded matrix kernels;
+  with chunked matrix kernels or baseline-once sparse delta kernels
+  (``mode="auto"`` picks per batch), optionally sharded across worker
+  processes;
 * :mod:`repro.batch.report` — :class:`BatchReport` aggregates per-scenario /
   per-group deltas against the baseline and the abstraction-induced error of
   the compressed provenance across the sweep.
@@ -20,14 +24,20 @@ scenario sweep through a session's provenance (and its compressed form, if
 one was computed).
 """
 
-from repro.batch.planner import ScenarioBatch
-from repro.batch.evaluator import BatchEvaluator, lower_meta_matrix
+from repro.batch.planner import DeltaPlan, ScenarioBatch
+from repro.batch.evaluator import (
+    BatchEvaluator,
+    lower_meta_deltas,
+    lower_meta_matrix,
+)
 from repro.batch.report import BatchReport, ScenarioOutcome
 
 __all__ = [
     "ScenarioBatch",
+    "DeltaPlan",
     "BatchEvaluator",
     "lower_meta_matrix",
+    "lower_meta_deltas",
     "BatchReport",
     "ScenarioOutcome",
 ]

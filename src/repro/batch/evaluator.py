@@ -3,15 +3,27 @@
 :class:`BatchEvaluator` ties the batch subsystem together: it compiles
 provenance sets once (an LRU cache keyed by
 :meth:`~repro.provenance.polynomial.ProvenanceSet.fingerprint`), lowers
-scenario lists into valuation matrices via
-:class:`~repro.batch.planner.ScenarioBatch`, and evaluates the whole sweep
-with vectorised matrix kernels — chunked to bound memory and optionally
-fanned out over a thread pool for mega-batches (the kernels are numpy-bound,
-so threads parallelise them without pickling anything).
+scenario lists through :class:`~repro.batch.planner.ScenarioBatch`, and
+evaluates the whole sweep with one of two vectorised pipelines:
+
+* **dense** — one ``scenarios × variables`` matrix through the segmented
+  matrix kernels, chunked to a memory budget and optionally fanned out over
+  a thread pool (the kernels release the GIL);
+* **sparse** — the baseline valuation is evaluated **once**, then each
+  scenario is applied as a ``(changed_columns, new_values)`` delta through
+  the compiled sets' inverted variable→monomial index
+  (:meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_deltas`),
+  recomputing only affected monomials/segments.  Real what-if traffic
+  perturbs a few variables per scenario, so this is the hot path.
+
+``mode="auto"`` picks between them by the batch's touched-variable fraction;
+``processes=N`` shards scenario rows of either pipeline across worker
+processes with chunked, memory-bounded assembly.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -27,16 +39,82 @@ from repro.provenance.valuation import (
     FingerprintCache,
     Valuation,
 )
-from repro.batch.planner import ScenarioBatch
+from repro.batch.planner import DeltaPlan, ScenarioBatch
 from repro.batch.report import BatchReport
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
     from repro.core.optimizer import OptimizationResult
 
-#: Target number of (monomial × scenario) cells per evaluation chunk; keeps
-#: the per-chunk gather/product temporaries comfortably inside cache/RAM.
+#: Target number of float64 cells materialised per evaluation chunk when no
+#: explicit memory budget is configured; keeps the per-chunk gather/product
+#: temporaries comfortably inside cache/RAM.
 _TARGET_CELLS_PER_CHUNK = 4_000_000
+
+#: Environment variable naming the default per-chunk memory budget (bytes)
+#: of the dense matrix pipeline.
+MAX_BYTES_ENV = "COBRA_BATCH_MAX_BYTES"
+
+#: ``mode="auto"`` takes the sparse path when the mean fraction of the
+#: variable universe the scenarios touch is at most this.  Real what-if
+#: sweeps sit far below it; matrix-filling sweeps far above.
+SPARSE_TOUCHED_FRACTION = 0.1
+
+_EVALUATION_MODES = ("auto", "dense", "sparse")
+
+# ---------------------------------------------------------------------------
+# Process-pool sharding
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer, so the compiled set
+#: (and sparse base vector) is pickled once per worker, not once per shard.
+_SHARD_STATE: Dict[str, object] = {}
+
+
+def _init_shard_worker(compiled, base_vector) -> None:
+    _SHARD_STATE["compiled"] = compiled
+    _SHARD_STATE["base"] = base_vector
+
+
+def _dense_shard_worker(matrix: np.ndarray) -> np.ndarray:
+    return _SHARD_STATE["compiled"].evaluate_matrix(matrix)
+
+
+def _sparse_shard_worker(plans) -> np.ndarray:
+    return _SHARD_STATE["compiled"].evaluate_deltas(_SHARD_STATE["base"], plans)
+
+
+def _process_map(processes, compiled, base_vector, worker, pieces):
+    """Map ``worker`` over ``pieces`` on a process pool, serially on fallback.
+
+    Process pools need working ``fork``/semaphores; sandboxes and exotic
+    platforms may refuse them, in which case the shards are evaluated
+    serially in-process — same results, no parallelism.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_init_shard_worker,
+            initargs=(compiled, base_vector),
+        ) as pool:
+            return list(pool.map(worker, pieces))
+    except (ImportError, OSError, PermissionError, RuntimeError):
+        _init_shard_worker(compiled, base_vector)
+        try:
+            return [worker(piece) for piece in pieces]
+        finally:
+            # The fallback runs in-process: drop the references so a large
+            # compiled set is not pinned for the life of the service.
+            _SHARD_STATE.clear()
+
+
+def _resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
+    if max_bytes is not None:
+        return int(max_bytes)
+    env = os.environ.get(MAX_BYTES_ENV)
+    return int(env) if env else None
 
 
 def lower_meta_matrix(
@@ -75,6 +153,84 @@ def lower_meta_matrix(
     return result
 
 
+def lower_meta_deltas(
+    abstraction: Abstraction,
+    batch: ScenarioBatch,
+    plan: DeltaPlan,
+    meta_variables: Sequence[str],
+    fill: float = 1.0,
+) -> Tuple[np.ndarray, Tuple[Tuple[np.ndarray, np.ndarray], ...]]:
+    """The sparse counterpart of :func:`lower_meta_matrix`.
+
+    Lowers a :class:`~repro.batch.planner.DeltaPlan` over the originals into
+    the compressed variable space without materialising any dense matrix:
+    the meta base row is derived once from the plan's base row, and per
+    scenario only the meta-variables containing a changed original are
+    re-averaged.  Cell for cell this computes the exact numbers
+    :func:`lower_meta_matrix` would.
+    """
+    grouped = abstraction.grouped_variables()
+    mapped = set(abstraction.mapping)
+    universe = set(batch.variables)
+    base_row = np.full(len(meta_variables), fill, dtype=np.float64)
+    # Per meta column: ("mean", member column array) | ("pass", column) |
+    # ("fill", None) — mirroring the dense lowering's three cases.
+    lowering = []
+    column_to_metas: Dict[int, list] = {}
+    for j, variable in enumerate(meta_variables):
+        members = grouped.get(variable)
+        if members is not None:
+            present = [m for m in members if m in universe]
+            if present:
+                columns = batch.columns_for(present)
+                base_row[j] = plan.base_row[columns].mean()
+                lowering.append(("mean", columns))
+                for column in columns:
+                    column_to_metas.setdefault(int(column), []).append(j)
+            else:
+                lowering.append(("fill", None))
+        elif variable in universe and variable not in mapped:
+            column = int(batch.columns_for([variable])[0])
+            base_row[j] = plan.base_row[column]
+            lowering.append(("pass", column))
+            column_to_metas.setdefault(column, []).append(j)
+        else:
+            lowering.append(("fill", None))
+
+    empty_columns = np.zeros(0, dtype=np.intp)
+    empty_values = np.zeros(0, dtype=np.float64)
+    scratch = plan.base_row.copy()
+    changes = []
+    for columns, values in plan.changes:
+        if columns.size == 0:
+            changes.append((empty_columns, empty_values))
+            continue
+        scratch[columns] = values
+        metas = sorted(
+            {
+                j
+                for column in columns
+                for j in column_to_metas.get(int(column), ())
+            }
+        )
+        meta_columns = []
+        meta_values = []
+        for j in metas:
+            kind, source = lowering[j]
+            value = scratch[source].mean() if kind == "mean" else scratch[source]
+            if value != base_row[j]:
+                meta_columns.append(j)
+                meta_values.append(value)
+        changes.append(
+            (
+                np.asarray(meta_columns, dtype=np.intp),
+                np.asarray(meta_values, dtype=np.float64),
+            )
+        )
+        scratch[columns] = plan.base_row[columns]
+    return base_row, tuple(changes)
+
+
 class BatchEvaluator:
     """Evaluates many scenarios against (possibly many) provenance sets.
 
@@ -86,12 +242,19 @@ class BatchEvaluator:
         answering what-if traffic over a handful of live provenance sets pays
         it once per set, not once per request.
     max_workers:
-        When set (> 1), mega-batches are split into chunks evaluated on a
-        thread pool; the numpy kernels release the GIL for the bulk of the
+        When set (> 1), dense mega-batches are split into chunks evaluated on
+        a thread pool; the numpy kernels release the GIL for the bulk of the
         work.  ``None`` evaluates chunks serially on the calling thread.
     chunk_size:
-        Rows per evaluation chunk.  Defaults to a size keeping roughly
-        ``4e6`` monomial × scenario cells in flight per chunk.
+        Rows per evaluation chunk; overrides the memory-derived default.
+    max_bytes:
+        Peak bytes of dense-kernel temporaries a chunk may materialise.
+        Defaults to the ``COBRA_BATCH_MAX_BYTES`` environment variable when
+        set, otherwise a ~32 MB cells heuristic.  A single row is always
+        evaluable, so the effective floor is one row's footprint.
+    processes:
+        Default process-pool width for :meth:`evaluate`'s sharding path
+        (overridable per call).  ``None`` evaluates in-process.
     """
 
     def __init__(
@@ -100,6 +263,8 @@ class BatchEvaluator:
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         compressor: Optional[Compressor] = None,
+        max_bytes: Optional[int] = None,
+        processes: Optional[int] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -107,8 +272,15 @@ class BatchEvaluator:
             raise ValueError("max_workers must be >= 1 (or None)")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 (or None)")
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1 (or None)")
+        max_bytes = _resolve_max_bytes(max_bytes)
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
         self._max_workers = max_workers
         self._chunk_size = chunk_size
+        self._max_bytes = max_bytes
+        self._processes = processes
         self._compiled = FingerprintCache(cache_size)
         self._compressor = compressor
 
@@ -146,27 +318,71 @@ class BatchEvaluator:
 
     # -- matrix evaluation ----------------------------------------------------
 
-    def _resolve_chunk_size(self, compiled: CompiledProvenanceSet, rows: int) -> int:
+    def _resolve_chunk_size(self, compiled, rows: int) -> int:
+        """Rows per dense chunk, respecting the explicit memory budget.
+
+        With ``max_bytes`` set, the chunk is sized so the dense kernels'
+        per-row float64 temporaries (``compiled.dense_row_footprint()``
+        cells) never exceed the budget — floored at one row, since a single
+        row is the smallest evaluable unit.
+        """
         if self._chunk_size is not None:
             return self._chunk_size
-        per_row = max(1, compiled.size())
-        return max(1, min(rows, _TARGET_CELLS_PER_CHUNK // per_row))
+        footprint = getattr(compiled, "dense_row_footprint", None)
+        per_row_cells = footprint() if callable(footprint) else max(1, compiled.size())
+        if self._max_bytes is not None:
+            per_row_bytes = 8 * per_row_cells
+            return max(1, min(rows, self._max_bytes // max(1, per_row_bytes)))
+        return max(1, min(rows, _TARGET_CELLS_PER_CHUNK // per_row_cells))
 
     def evaluate_matrix(
-        self, compiled: CompiledProvenanceSet, matrix: np.ndarray
+        self,
+        compiled: CompiledProvenanceSet,
+        matrix: np.ndarray,
+        processes: Optional[int] = None,
     ) -> np.ndarray:
-        """Chunked (and optionally threaded) ``scenarios × groups`` evaluation."""
+        """Chunked (threaded or process-sharded) ``scenarios × groups`` evaluation."""
         matrix = np.asarray(matrix, dtype=np.float64)
         rows = matrix.shape[0]
         chunk = self._resolve_chunk_size(compiled, rows)
-        if rows <= chunk:
+        if rows <= chunk and not (processes and processes > 1):
             return compiled.evaluate_matrix(matrix)
         pieces = [matrix[start : start + chunk] for start in range(0, rows, chunk)]
-        if self._max_workers is not None and self._max_workers > 1 and len(pieces) > 1:
+        if processes and processes > 1 and len(pieces) > 1:
+            results = _process_map(
+                processes, compiled, None, _dense_shard_worker, pieces
+            )
+        elif self._max_workers is not None and self._max_workers > 1 and len(pieces) > 1:
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
                 results = list(pool.map(compiled.evaluate_matrix, pieces))
         else:
             results = [compiled.evaluate_matrix(piece) for piece in pieces]
+        return np.concatenate(results, axis=0)
+
+    def evaluate_deltas(
+        self,
+        compiled,
+        base_vector: np.ndarray,
+        plans: Sequence[Tuple[np.ndarray, np.ndarray]],
+        processes: Optional[int] = None,
+    ) -> np.ndarray:
+        """Sparse ``scenarios × groups`` evaluation, optionally process-sharded.
+
+        The baseline is evaluated once (inside the compiled set's cached
+        delta state); each shard re-ships only its plans, so assembly memory
+        is bounded by ``shards × shard_rows × groups`` floats.
+        """
+        if not (processes and processes > 1) or len(plans) < 2:
+            return compiled.evaluate_deltas(base_vector, plans)
+        shard = max(1, -(-len(plans) // (processes * 4)))
+        pieces = [
+            plans[start : start + shard] for start in range(0, len(plans), shard)
+        ]
+        if len(pieces) == 1:
+            return compiled.evaluate_deltas(base_vector, plans)
+        results = _process_map(
+            processes, compiled, base_vector, _sparse_shard_worker, pieces
+        )
         return np.concatenate(results, axis=0)
 
     # -- the full service entry point -----------------------------------------
@@ -179,6 +395,8 @@ class BatchEvaluator:
         compressed: Optional[ProvenanceSet] = None,
         abstraction: Optional[Abstraction] = None,
         semiring: BackendLike = None,
+        mode: str = "auto",
+        processes: Optional[int] = None,
     ) -> BatchReport:
         """Evaluate ``scenarios`` against ``provenance`` in one vectorised pass.
 
@@ -188,14 +406,31 @@ class BatchEvaluator:
         the abstraction-induced error across the whole sweep.
 
         ``semiring`` selects the evaluation backend: numeric backends (real,
-        tropical, bool) take the chunked matrix path; set-valued backends
+        tropical, bool) take the vectorised pipelines; set-valued backends
         fall back to a per-scenario Python loop over the generic evaluator,
         producing object-valued result matrices with backend-defined deltas.
+
+        ``mode`` picks the numeric pipeline: ``"dense"`` lowers the batch to
+        a full matrix, ``"sparse"`` evaluates the baseline once and applies
+        per-scenario deltas through the inverted variable→monomial index,
+        and ``"auto"`` (default) selects sparse whenever the scenarios touch
+        at most ``SPARSE_TOUCHED_FRACTION`` of the variable universe on
+        average.  Both produce element-wise equal results.  ``processes``
+        shards scenario rows across worker processes (default: the
+        evaluator's configured width).
         """
         if (compressed is None) != (abstraction is None):
             raise ValueError(
                 "compressed and abstraction must be provided together"
             )
+        if mode not in _EVALUATION_MODES:
+            raise ValueError(
+                f"mode must be one of {_EVALUATION_MODES}, got {mode!r}"
+            )
+        if processes is None:
+            processes = self._processes
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1 (or None)")
         backend = resolve_backend(semiring)
         if not backend.is_numeric:
             return self._evaluate_generic(
@@ -209,35 +444,40 @@ class BatchEvaluator:
         )
         universe = set(provenance.variables()) | set(base)
         batch = ScenarioBatch(scenarios, universe)
-        matrix = batch.valuation_matrix(base, fill=fill)
 
         compiled_full = self.compile(provenance, backend)
-        full_columns = batch.columns_for(compiled_full.variables)
-        base_row = np.array(
-            [float(base.get(name, fill)) for name in compiled_full.variables],
-            dtype=np.float64,
+        use_sparse = mode == "sparse" or (
+            mode == "auto"
+            and getattr(compiled_full, "supports_deltas", False)
+            and batch.touched_fraction() <= SPARSE_TOUCHED_FRACTION
         )
-        baseline = compiled_full.evaluate_matrix(base_row[np.newaxis, :])[0]
-        full_results = self.evaluate_matrix(compiled_full, matrix[:, full_columns])
+        if use_sparse and not getattr(compiled_full, "supports_deltas", False):
+            raise ValueError(
+                f"the {backend.name!r} backend's compiled form does not "
+                "support sparse delta evaluation; use mode='dense'"
+            )
+
+        compiled_compressed = None
+        if compressed is not None and abstraction is not None:
+            compiled_compressed = self.compile(compressed, backend)
+
+        if use_sparse:
+            baseline, full_results, meta_rows = self._evaluate_sparse(
+                compiled_full, compiled_compressed, abstraction, batch, base,
+                fill, processes,
+            )
+        else:
+            baseline, full_results, meta_rows = self._evaluate_dense(
+                compiled_full, compiled_compressed, abstraction, batch, base,
+                fill, processes,
+            )
 
         compressed_results = None
         compressed_size = None
-        if compressed is not None and abstraction is not None:
-            compiled_compressed = self.compile(compressed, backend)
-            meta_matrix = lower_meta_matrix(
-                abstraction, batch, matrix, compiled_compressed.variables, fill=fill
+        if compiled_compressed is not None:
+            compressed_results = self._align_compressed(
+                compiled_full, compiled_compressed, full_results, meta_rows, backend
             )
-            meta_rows = self.evaluate_matrix(compiled_compressed, meta_matrix)
-            # Align the compressed columns with the full provenance's keys;
-            # groups absent from the compressed set evaluate to the semiring
-            # zero, as in the interactive report.
-            key_column = {key: i for i, key in enumerate(compiled_compressed.keys)}
-            zero = float(backend.semiring.zero)
-            compressed_results = np.full_like(full_results, zero)
-            for j, key in enumerate(compiled_full.keys):
-                column = key_column.get(key)
-                if column is not None:
-                    compressed_results[:, j] = meta_rows[:, column]
             compressed_size = compressed.size()
 
         return BatchReport(
@@ -249,7 +489,91 @@ class BatchEvaluator:
             full_size=provenance.size(),
             compressed_size=compressed_size,
             semiring=backend.name,
+            mode="sparse" if use_sparse else "dense",
         )
+
+    # -- the two numeric pipelines --------------------------------------------
+
+    def _evaluate_dense(
+        self, compiled_full, compiled_compressed, abstraction, batch, base,
+        fill, processes,
+    ):
+        matrix = batch.valuation_matrix(base, fill=fill)
+        full_columns = batch.columns_for(compiled_full.variables)
+        base_row = np.array(
+            [float(base.get(name, fill)) for name in compiled_full.variables],
+            dtype=np.float64,
+        )
+        baseline = compiled_full.evaluate_matrix(base_row[np.newaxis, :])[0]
+
+        noop = batch.noop_rows
+        if noop and len(batch):
+            # No-op scenarios reuse the shared baseline result; only the
+            # rows that actually move a value hit the kernels.
+            live = np.setdiff1d(
+                np.arange(len(batch), dtype=np.intp),
+                np.asarray(noop, dtype=np.intp),
+            )
+            full_results = np.empty(
+                (len(batch), len(compiled_full.keys)), dtype=np.float64
+            )
+            full_results[np.asarray(noop, dtype=np.intp)] = baseline
+            if live.size:
+                full_results[live] = self.evaluate_matrix(
+                    compiled_full, matrix[live][:, full_columns], processes
+                )
+        else:
+            full_results = self.evaluate_matrix(
+                compiled_full, matrix[:, full_columns], processes
+            )
+
+        meta_rows = None
+        if compiled_compressed is not None:
+            meta_matrix = lower_meta_matrix(
+                abstraction, batch, matrix, compiled_compressed.variables, fill=fill
+            )
+            meta_rows = self.evaluate_matrix(
+                compiled_compressed, meta_matrix, processes
+            )
+        return baseline, full_results, meta_rows
+
+    def _evaluate_sparse(
+        self, compiled_full, compiled_compressed, abstraction, batch, base,
+        fill, processes,
+    ):
+        plan = batch.delta_plan(base, fill=fill)
+        full_columns = batch.columns_for(compiled_full.variables)
+        base_vector, plans = plan.project(full_columns)
+        baseline = compiled_full.baseline_totals(base_vector)
+        full_results = self.evaluate_deltas(
+            compiled_full, base_vector, plans, processes
+        )
+
+        meta_rows = None
+        if compiled_compressed is not None:
+            meta_base, meta_plans = lower_meta_deltas(
+                abstraction, batch, plan, compiled_compressed.variables, fill=fill
+            )
+            meta_rows = self.evaluate_deltas(
+                compiled_compressed, meta_base, meta_plans, processes
+            )
+        return baseline, full_results, meta_rows
+
+    @staticmethod
+    def _align_compressed(
+        compiled_full, compiled_compressed, full_results, meta_rows, backend
+    ) -> np.ndarray:
+        """Align compressed columns with the full provenance's keys; groups
+        absent from the compressed set evaluate to the semiring zero, as in
+        the interactive report."""
+        key_column = {key: i for i, key in enumerate(compiled_compressed.keys)}
+        zero = float(backend.semiring.zero)
+        compressed_results = np.full_like(full_results, zero)
+        for j, key in enumerate(compiled_full.keys):
+            column = key_column.get(key)
+            if column is not None:
+                compressed_results[:, j] = meta_rows[:, column]
+        return compressed_results
 
     def _evaluate_generic(
         self,
@@ -260,7 +584,12 @@ class BatchEvaluator:
         abstraction: Optional[Abstraction],
         backend,
     ) -> BatchReport:
-        """The pure-Python fallback for set-valued semirings (Why, Lineage)."""
+        """The pure-Python fallback for set-valued semirings (Why, Lineage).
+
+        Sparse mode does not apply to symbolic carriers; every requested
+        ``mode`` takes this same per-scenario loop (reported as
+        ``mode="generic"``), so results never depend on the mode knob.
+        """
         base = (
             Valuation(dict(base_valuation), semiring=backend)
             if base_valuation
@@ -320,6 +649,7 @@ class BatchEvaluator:
             full_size=provenance.size(),
             compressed_size=compressed.size() if compressed is not None else None,
             semiring=backend.name,
+            mode="generic",
         )
 
     def compress_and_evaluate(
@@ -332,6 +662,8 @@ class BatchEvaluator:
         strategy: str = "incremental",
         allow_infeasible: bool = False,
         semiring: BackendLike = None,
+        mode: str = "auto",
+        processes: Optional[int] = None,
     ) -> Tuple[BatchReport, "OptimizationResult"]:
         """Compress under ``bound`` and evaluate ``scenarios`` in one call.
 
@@ -357,5 +689,7 @@ class BatchEvaluator:
             compressed=result.compressed,
             abstraction=result.abstraction,
             semiring=semiring,
+            mode=mode,
+            processes=processes,
         )
         return report, result

@@ -1,23 +1,82 @@
-"""Lowering scenario lists into valuation matrices.
+"""Lowering scenario lists into valuation matrices and sparse delta plans.
 
 The interactive engine answers one hypothetical at a time by rewriting a
 :class:`~repro.provenance.valuation.Valuation` per scenario.  For batch
 what-if traffic that per-scenario dict churn dominates, so the planner
-lowers a list of :class:`~repro.engine.scenario.Scenario` objects into one
-``scenarios × variables`` numpy matrix: row *s* is the value vector the
-*s*-th scenario induces over a shared, sorted variable universe.  The matrix
-feeds straight into
-:meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_matrix`.
+lowers a list of :class:`~repro.engine.scenario.Scenario` objects over a
+shared, sorted variable universe — in one of two shapes:
+
+* :meth:`ScenarioBatch.valuation_matrix` — the dense ``scenarios ×
+  variables`` matrix, feeding
+  :meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_matrix`;
+* :meth:`ScenarioBatch.delta_plan` — the sparse lowering: one shared base
+  row plus per-scenario ``(changed_columns, new_values)`` pairs, feeding
+  :meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_deltas`.
+  Real what-if scenarios perturb a handful of variables, so the plan is a
+  few cells per scenario instead of a full row.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.scenario import Scenario
 from repro.provenance.valuation import Valuation
+
+_EMPTY_COLUMNS = np.zeros(0, dtype=np.intp)
+_EMPTY_VALUES = np.zeros(0, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """The sparse lowering of a scenario batch.
+
+    Attributes
+    ----------
+    base_row:
+        The shared base value vector over the batch's variable universe.
+    changes:
+        Per scenario, ``(changed_columns, new_values)`` — only the cells
+        whose value actually differs from ``base_row`` (a no-op scenario has
+        two empty arrays).  Columns index the batch universe.
+    """
+
+    base_row: np.ndarray
+    changes: Tuple[Tuple[np.ndarray, np.ndarray], ...]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def changed_cells(self) -> int:
+        """Total number of changed cells across the whole batch."""
+        return sum(columns.size for columns, _values in self.changes)
+
+    def project(
+        self, columns: np.ndarray
+    ) -> Tuple[np.ndarray, Tuple[Tuple[np.ndarray, np.ndarray], ...]]:
+        """Restrict the plan to a compiled set's variable subspace.
+
+        ``columns`` maps the target's variable order to universe columns
+        (``batch.columns_for(compiled.variables)``).  Returns the projected
+        base vector and per-scenario changes with universe columns remapped
+        to target columns; changed variables outside the subspace (which
+        cannot affect the target's results) are dropped.
+        """
+        columns = np.asarray(columns, dtype=np.intp)
+        inverse = np.full(len(self.base_row), -1, dtype=np.intp)
+        inverse[columns] = np.arange(columns.size, dtype=np.intp)
+        projected: List[Tuple[np.ndarray, np.ndarray]] = []
+        for changed, values in self.changes:
+            local = inverse[changed]
+            keep = local >= 0
+            if keep.all():
+                projected.append((local, values))
+            else:
+                projected.append((local[keep], values[keep]))
+        return self.base_row[columns], tuple(projected)
 
 
 class ScenarioBatch:
@@ -44,11 +103,15 @@ class ScenarioBatch:
             name: i for i, name in enumerate(self._variables)
         }
         # Selectors are resolved once per scenario against the shared
-        # universe; applying the plan is pure array arithmetic from here on.
+        # universe (one membership set for the whole batch); applying the
+        # plan is pure array arithmetic from here on.
+        name_set = frozenset(self._variables)
         self._resolved = tuple(
             tuple(
                 (kind, np.array([self._index[n] for n in selected], dtype=np.intp), amount)
-                for kind, selected, amount in scenario.resolved_operations(self._variables)
+                for kind, selected, amount in scenario.resolved_operations(
+                    self._variables, name_set
+                )
             )
             for scenario in self._scenarios
         )
@@ -72,6 +135,42 @@ class ScenarioBatch:
 
     def __len__(self) -> int:
         return len(self._scenarios)
+
+    @property
+    def noop_rows(self) -> Tuple[int, ...]:
+        """Rows whose resolved operations all select nothing.
+
+        A scenario whose selectors resolve to empty index arrays (ghost
+        names, empty lists, predicates matching nothing) cannot move any
+        value, so evaluators reuse the shared baseline row for it instead of
+        re-evaluating.
+        """
+        return tuple(
+            row
+            for row, operations in enumerate(self._resolved)
+            if all(columns.size == 0 for _kind, columns, _amount in operations)
+        )
+
+    def is_noop(self, row: int) -> bool:
+        """Whether the ``row``-th scenario resolves to a pure no-op."""
+        return all(
+            columns.size == 0 for _kind, columns, _amount in self._resolved[row]
+        )
+
+    def touched_fraction(self) -> float:
+        """Mean fraction of the universe the scenarios touch (the sparse/dense
+        heuristic): per scenario, distinct selected columns over universe
+        size, averaged over the batch."""
+        if not self._scenarios or not self._variables:
+            return 0.0
+        total = 0
+        for operations in self._resolved:
+            selected = [columns for _kind, columns, _amount in operations
+                        if columns.size]
+            if not selected:
+                continue
+            total += np.unique(np.concatenate(selected)).size
+        return total / (len(self._scenarios) * len(self._variables))
 
     # -- lowering -----------------------------------------------------------
 
@@ -102,6 +201,55 @@ class ScenarioBatch:
                 else:
                     matrix[row, columns] = amount
         return matrix
+
+    def delta_plan(
+        self, base: Optional[Mapping[str, float]] = None, fill: float = 1.0
+    ) -> DeltaPlan:
+        """The sparse lowering: a shared base row plus per-scenario changes.
+
+        Produces exactly the rows :meth:`valuation_matrix` would — but as
+        ``(changed_columns, new_values)`` pairs against the base row, with
+        cells that end up back at their base value filtered out.  Cost is
+        O(universe + touched cells), independent of the batch size × universe
+        product the dense lowering pays.
+        """
+        if base is None:
+            base = Valuation.uniform(self._variables, fill)
+        base_row = np.array(
+            [float(base.get(name, fill)) for name in self._variables],
+            dtype=np.float64,
+        )
+        changes: List[Tuple[np.ndarray, np.ndarray]] = []
+        for operations in self._resolved:
+            live = [
+                (kind, columns, amount)
+                for kind, columns, amount in operations
+                if columns.size
+            ]
+            if not live:
+                changes.append((_EMPTY_COLUMNS, _EMPTY_VALUES))
+                continue
+            if len(live) == 1:
+                # The common one-operation scenario needs no column union.
+                kind, touched, amount = live[0]
+                if kind == "scale":
+                    values = base_row[touched] * amount
+                else:
+                    values = np.full(touched.size, amount, dtype=np.float64)
+            else:
+                touched = np.unique(
+                    np.concatenate([columns for _kind, columns, _amount in live])
+                )
+                values = base_row[touched].copy()
+                for kind, columns, amount in live:
+                    local = np.searchsorted(touched, columns)
+                    if kind == "scale":
+                        values[local] *= amount
+                    else:
+                        values[local] = amount
+            moved = values != base_row[touched]
+            changes.append((touched[moved], values[moved]))
+        return DeltaPlan(base_row=base_row, changes=tuple(changes))
 
     def columns_for(self, names: Sequence[str]) -> np.ndarray:
         """Column indices of ``names`` within the universe (for submatrices).

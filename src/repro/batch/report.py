@@ -69,6 +69,13 @@ class BatchReport:
         (``why``, ``lineage``) store object matrices of semiring values, and
         the delta/error matrices below are derived through the backend's
         error measure (symmetric-difference cardinality).
+    mode:
+        Which evaluation path produced the matrices: ``"dense"`` (the full
+        ``scenarios × variables`` matrix pipeline), ``"sparse"`` (baseline-
+        once delta evaluation) or ``"generic"`` (the per-scenario symbolic
+        fallback of set-valued semirings).  Both numeric paths produce
+        element-wise equal results; the field records what ``mode="auto"``
+        picked.
     """
 
     scenario_names: Tuple[str, ...]
@@ -79,6 +86,7 @@ class BatchReport:
     full_size: int = 0
     compressed_size: Optional[int] = None
     semiring: str = "real"
+    mode: str = "dense"
 
     def __len__(self) -> int:
         return len(self.scenario_names)
@@ -232,6 +240,7 @@ class BatchReport:
             "scenarios": len(self),
             "groups": len(self.keys),
             "semiring": self.semiring,
+            "mode": self.mode,
             "full_size": self.full_size,
             "compressed_size": self.compressed_size,
             "max_absolute_error": self.max_absolute_error,
@@ -243,6 +252,8 @@ class BatchReport:
         """A human-readable sweep table (scenarios ranked by |total delta|)."""
         lines: List[str] = []
         suffix = "" if self.semiring == "real" else f", semiring: {self.semiring}"
+        if self.mode != "dense":
+            suffix += f", mode: {self.mode}"
         lines.append(
             f"{len(self)} scenarios x {len(self.keys)} result groups "
             f"(full provenance: {self.full_size} monomials{suffix})"

@@ -212,12 +212,17 @@ def run_batch(args: argparse.Namespace) -> int:
 
     evaluator = BatchEvaluator(max_workers=args.workers)
     with Timer() as timer:
-        report = session.evaluate_many(scenarios, evaluator=evaluator)
+        report = session.evaluate_many(
+            scenarios,
+            evaluator=evaluator,
+            mode=args.mode,
+            processes=args.processes,
+        )
     per_scenario = timer.elapsed / max(1, len(scenarios))
     _print(report.render_text(max_rows=args.top))
     _print()
     _print(
-        f"batch evaluation: {timer.elapsed * 1e3:.1f} ms total "
+        f"batch evaluation ({report.mode}): {timer.elapsed * 1e3:.1f} ms total "
         f"({per_scenario * 1e6:.0f} us/scenario)"
     )
 
@@ -315,7 +320,9 @@ def run_whatif(args: argparse.Namespace) -> int:
     )
     _print()
 
-    report = session.evaluate_many(scenarios)
+    report = session.evaluate_many(
+        scenarios, mode=args.mode, processes=args.processes
+    )
     _print(report.render_text(max_rows=args.top))
     _print()
     first = session.assign_scenario(scenarios[0], measure_assignment_speedup=False)
@@ -410,6 +417,23 @@ def _add_semiring_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_mode_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="evaluation pipeline: dense matrix, sparse baseline-once deltas, "
+        "or auto-select by touched-variable fraction (default: auto)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=_positive_int,
+        default=None,
+        help="shard scenario rows across this many worker processes "
+        "(default: evaluate in-process)",
+    )
+
+
 def _add_strategy_argument(parser: argparse.ArgumentParser, default: str) -> None:
     parser.add_argument(
         "--strategy",
@@ -449,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="TPC-H scale factor (bool backend's workload)",
     )
     whatif.add_argument("--top", type=int, default=8, help="rows to print")
+    _add_batch_mode_arguments(whatif)
     whatif.set_defaults(func=run_whatif)
 
     telephony = subparsers.add_parser(
@@ -483,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=None,
         help="thread-pool size for chunked mega-batches (default: serial)",
     )
+    _add_batch_mode_arguments(batch)
     batch.add_argument("--top", type=int, default=10, help="rows to print")
     batch.add_argument(
         "--compare-sequential", action="store_true",

@@ -3,9 +3,11 @@
 The incremental greedy kernel needs, for every node of every abstraction
 tree, the set of monomial rows its subtree touches — i.e. the rows whose
 monomial contains at least one variable that is a descendant-or-self of the
-node.  Building this naively per node is quadratic; this module flattens the
-provenance once (:func:`repro.provenance.statistics.enumerate_monomial_rows`)
-and aggregates leaf incidence lists bottom-up into one flat CSR layout:
+node.  Building this naively per node is quadratic; this module takes the
+shared variable-level incidence of the provenance
+(:func:`repro.provenance.incidence.provenance_incidence` — the same builder
+the sparse delta evaluators use) and aggregates the leaf incidence lists
+bottom-up into one flat CSR layout:
 
 * ``row_ids`` — a single ``int64`` array concatenating, node by node, the
   ascending row ids touching each node's subtree;
@@ -25,8 +27,8 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.abstraction_tree import AbstractionForest
+from repro.provenance.incidence import provenance_incidence
 from repro.provenance.polynomial import ProvenanceSet
-from repro.provenance.statistics import MonomialRow, enumerate_monomial_rows
 from repro.provenance.valuation import FingerprintCache
 
 _EMPTY_ROWS = np.zeros(0, dtype=np.int64)
@@ -41,13 +43,16 @@ class MonomialIncidenceIndex:
         The flattened monomials, ``(group_index, factors, coefficient)`` per
         row, in deterministic order.
     variable_rows:
-        variable name → ascending row-id list (leaf-level incidence).
+        variable name → ascending ``int64`` row-id array (the shared
+        leaf-level incidence of :mod:`repro.provenance.incidence`).
     """
 
     __slots__ = ("rows", "variable_rows", "_row_ids", "_node_ptr")
 
     def __init__(self, provenance: ProvenanceSet, forest: AbstractionForest) -> None:
-        self.rows, self.variable_rows = enumerate_monomial_rows(provenance)
+        incidence = provenance_incidence(provenance)
+        self.rows = incidence.rows
+        self.variable_rows = incidence.variable_rows
 
         # Bottom-up union of leaf incidence lists, laid out as one flat CSR
         # array (node → contiguous slice of ascending row ids).
@@ -59,10 +64,7 @@ class MonomialIncidenceIndex:
             nonlocal offset
             node = tree.node(name)
             if node.is_leaf:
-                ids = self.variable_rows.get(name)
-                merged = (
-                    np.asarray(ids, dtype=np.int64) if ids else _EMPTY_ROWS
-                )
+                merged = incidence.rows_for(name)
             else:
                 child_arrays = [visit(tree, child) for child in node.children]
                 merged = (

@@ -38,8 +38,12 @@ def _select(
         name_set = frozenset(names)
     if isinstance(selector, str):
         return (selector,) if selector in name_set else ()
-    wanted = set(selector)
-    return tuple(name for name in names if name in wanted)
+    # Explicit name lists are typically tiny against a large universe, so
+    # iterate the selector (deduplicated, first occurrence wins) instead of
+    # scanning every universe name per operation.
+    return tuple(
+        name for name in dict.fromkeys(selector) if name in name_set
+    )
 
 
 @dataclass(frozen=True)
@@ -87,17 +91,23 @@ class Scenario:
         )
 
     def resolved_operations(
-        self, variables: Iterable[str]
+        self,
+        variables: Iterable[str],
+        name_set: Optional[frozenset] = None,
     ) -> Tuple[ResolvedOperation, ...]:
         """Resolve every operation's selector against ``variables`` in one pass.
 
         The name universe is materialised exactly once (a single list and a
         single membership set shared by all operations), so applying a
         scenario — or lowering it into a batch plan — costs one resolution per
-        operation instead of one list materialisation per operation.
+        operation instead of one list materialisation per operation.  Callers
+        resolving many scenarios against one universe (the batch planner)
+        pass the membership set in so it is built once per batch, not once
+        per scenario.
         """
         names = variables if isinstance(variables, (list, tuple)) else list(variables)
-        name_set = frozenset(names)
+        if name_set is None:
+            name_set = frozenset(names)
         return tuple(
             (op.kind, _select(op.selector, names, name_set), op.amount)
             for op in self.operations

@@ -417,14 +417,15 @@ class CobraSession:
         scenarios: Sequence[Scenario],
         include_compressed: Union[bool, str] = "auto",
         evaluator: Optional["BatchEvaluator"] = None,
+        mode: str = "auto",
+        processes: Optional[int] = None,
     ) -> "BatchReport":
         """Evaluate a whole scenario sweep in one vectorised batch pass.
 
         Unlike :meth:`compare_scenarios` (a Python loop over
         :meth:`assign_scenario`, fine for a handful of what-ifs), this lowers
-        all scenarios into one valuation matrix and evaluates them with the
-        :mod:`repro.batch` subsystem — hundreds of scenarios cost a handful
-        of numpy operations.
+        all scenarios through the :mod:`repro.batch` subsystem — hundreds of
+        scenarios cost a handful of numpy operations.
 
         Parameters
         ----------
@@ -441,6 +442,14 @@ class CobraSession:
             across sessions, or configured with a worker pool).  By default
             the session keeps one of its own, so repeated sweeps reuse the
             compiled provenance.
+        mode:
+            ``"auto"`` (default) picks between the dense matrix pipeline and
+            sparse baseline-once delta evaluation by how much of the variable
+            universe the scenarios touch; ``"dense"``/``"sparse"`` force a
+            pipeline.  Both produce element-wise equal results.
+        processes:
+            Shard scenario rows across this many worker processes (large
+            sweeps on multi-core hosts); ``None`` evaluates in-process.
         """
         from repro.batch.evaluator import BatchEvaluator
 
@@ -474,6 +483,8 @@ class CobraSession:
             compressed=compressed,
             abstraction=abstraction,
             semiring=self._backend,
+            mode=mode,
+            processes=processes,
         )
 
     def compare_scenarios(

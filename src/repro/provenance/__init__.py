@@ -53,6 +53,11 @@ from repro.provenance.statistics import (
     describe_provenance,
     enumerate_monomial_rows,
 )
+from repro.provenance.incidence import (
+    ProvenanceIncidence,
+    VariableIncidence,
+    provenance_incidence,
+)
 
 __all__ = [
     "Variable",
@@ -88,4 +93,7 @@ __all__ = [
     "ProvenanceStatistics",
     "describe_provenance",
     "enumerate_monomial_rows",
+    "ProvenanceIncidence",
+    "VariableIncidence",
+    "provenance_incidence",
 ]

@@ -38,6 +38,11 @@ class CompiledSemiringSet(ABC):
     dispatch without caring which backend produced the compilation.
     """
 
+    #: Whether this compiled form implements the sparse delta surface
+    #: (``baseline_totals`` / ``evaluate_deltas``).  Numeric compilations
+    #: set this; set-valued ones fall back to dense per-scenario evaluation.
+    supports_deltas: bool = False
+
     @property
     @abstractmethod
     def keys(self) -> Tuple[Tuple, ...]:
@@ -61,6 +66,22 @@ class CompiledSemiringSet(ABC):
     ) -> Tuple[Dict[Tuple, Any], ...]:
         """Evaluate a batch of valuations (generic per-valuation loop)."""
         return tuple(self.evaluate(valuation) for valuation in valuations)
+
+    def evaluate_deltas(self, base_vector, plans):
+        """Sparse scenario evaluation against one shared base vector.
+
+        Numeric compilations override this with an O(affected monomials)
+        kernel; the default signals that the caller should take the dense
+        path instead.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sparse delta evaluation"
+        )
+
+    def dense_row_footprint(self) -> int:
+        """float64 cells the dense matrix path materialises per scenario row
+        (memory-budget accounting; the symbolic fallback reports its size)."""
+        return max(1, self.size())
 
 
 class SemiringBackend(ABC):

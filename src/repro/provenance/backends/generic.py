@@ -24,7 +24,13 @@ from repro.provenance.semiring import (
 
 
 class CompiledGenericSet(CompiledSemiringSet):
-    """A provenance set held symbolically, evaluated polynomial by polynomial."""
+    """A provenance set held symbolically, evaluated polynomial by polynomial.
+
+    Set-valued carriers do not fit the vectorised delta kernels, so this
+    compilation keeps ``supports_deltas = False``: the batch evaluator's
+    sparse mode degrades to the same per-scenario loop the dense mode uses,
+    producing identical results.
+    """
 
     __slots__ = ("_provenance", "_semiring", "_embed", "_variables")
 

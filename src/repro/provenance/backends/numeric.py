@@ -29,6 +29,11 @@ from repro.provenance.backends.base import (
     CompiledSemiringSet,
     SemiringBackend,
 )
+from repro.provenance.incidence import (
+    VariableIncidence,
+    expand_segment_rows,
+    ragged_ranges,
+)
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.semiring import (
     BooleanSemiring,
@@ -63,12 +68,25 @@ class _SegmentGroup:
 class _CompiledNumericSet(CompiledSemiringSet):
     """Shared compilation for numeric semirings; subclasses fix the algebra."""
 
-    __slots__ = ("_keys", "_variables", "_index", "_constant", "_groups", "_num_constants")
+    supports_deltas = True
+
+    __slots__ = (
+        "_keys",
+        "_variables",
+        "_index",
+        "_constant",
+        "_groups",
+        "_num_constants",
+        "_delta_index",
+        "_delta_baseline",
+    )
 
     #: The additive identity of the semiring (fills rows with no monomials).
     _identity: float = 0.0
 
     def __init__(self, provenance: ProvenanceSet) -> None:
+        self._delta_index = None
+        self._delta_baseline = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
         variables = sorted(provenance.variables())
         self._variables: Tuple[str, ...] = tuple(variables)
@@ -118,6 +136,18 @@ class _CompiledNumericSet(CompiledSemiringSet):
         raise NotImplementedError
 
     def _accumulate(self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray, axis: int) -> None:
+        raise NotImplementedError
+
+    def _restricted_contributions(
+        self, group: _SegmentGroup, values: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        """Contributions of the monomials at ``positions`` under ``values``."""
+        raise NotImplementedError
+
+    def _fold_rows(
+        self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray
+    ) -> None:
+        """Fold per-segment values into a 1-D totals vector (rows unique)."""
         raise NotImplementedError
 
     # -- the CompiledSemiringSet surface --------------------------------------
@@ -172,6 +202,149 @@ class _CompiledNumericSet(CompiledSemiringSet):
         matrix = np.stack([self.values_vector(v) for v in valuations])
         return self.evaluate_matrix(matrix)
 
+    # -- sparse delta evaluation ----------------------------------------------
+
+    def dense_row_footprint(self) -> int:
+        """float64 cells :meth:`evaluate_matrix` materialises per scenario row."""
+        cells = len(self._variables) + len(self._keys)
+        for group in self._groups:
+            cells += group.indices.size
+        return max(1, cells)
+
+    def _delta_groups(self):
+        """Per-group inverted index, per-monomial rows and segment extents."""
+        if self._delta_index is None:
+            built = []
+            for group in self._groups:
+                num_monomials = len(group.coefficients)
+                built.append(
+                    (
+                        VariableIncidence.from_factor_arrays(
+                            len(self._variables), group.indices, group.exponents
+                        ),
+                        expand_segment_rows(
+                            group.segment_starts, group.segment_rows, num_monomials
+                        ),
+                        np.append(
+                            group.segment_starts[1:], num_monomials
+                        ).astype(np.intp),
+                    )
+                )
+            self._delta_index = tuple(built)
+        return self._delta_index
+
+    def _delta_state(self, base_vector: np.ndarray):
+        """Baseline-once state: totals plus per-segment baseline reductions."""
+        base_vector = np.asarray(base_vector, dtype=np.float64)
+        if base_vector.shape != (len(self._variables),):
+            raise ValueError(
+                f"expected a base vector of {len(self._variables)} variables, "
+                f"got shape {base_vector.shape}"
+            )
+        key = base_vector.tobytes()
+        if self._delta_baseline is None or self._delta_baseline[0] != key:
+            segment_values = []
+            totals = self._constant.copy()
+            for group in self._groups:
+                segments = self._reduce(
+                    self._contributions(group, base_vector),
+                    group.segment_starts,
+                    axis=0,
+                )
+                segment_values.append(segments)
+                self._fold_rows(totals, group.segment_rows, segments)
+            self._delta_baseline = (
+                key,
+                base_vector.copy(),
+                tuple(segment_values),
+                totals,
+            )
+        return self._delta_baseline
+
+    def baseline_totals(self, base_vector: np.ndarray) -> np.ndarray:
+        """The per-group results under ``base_vector`` (the sparse baseline)."""
+        return self._delta_state(base_vector)[3].copy()
+
+    def evaluate_deltas(
+        self, base_vector: np.ndarray, plans: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
+        """Evaluate sparse scenarios against one shared base vector.
+
+        Each plan is ``(changed_columns, new_values)`` over this set's
+        variable order.  Idempotent reductions (min, or) cannot be corrected
+        additively, so per scenario the kernel re-reduces exactly the
+        *segments* whose output row contains an affected monomial: affected
+        rows are reset to the constant fold, recomputed segments are reduced
+        from scratch over the updated values, and every untouched segment of
+        an affected row reuses its baseline reduction.  Work per scenario is
+        O(monomials inside affected segments), not O(all monomials).
+        """
+        index = self._delta_groups()
+        _key, base, segment_values, totals = self._delta_state(base_vector)
+        num_keys = len(self._keys)
+        out = np.empty((len(plans), num_keys), dtype=np.float64)
+        scratch = base.copy()
+        for s, (columns, values) in enumerate(plans):
+            columns = np.asarray(columns, dtype=np.intp)
+            values = np.asarray(values, dtype=np.float64)
+            if columns.size == 0:
+                out[s] = totals
+                continue
+            scratch[columns] = values
+            # Pass 1: the segments (and thus output rows) each group affects.
+            affected_segments = []
+            row_parts = []
+            for (incidence, _monomial_rows, _ends), group in zip(
+                index, self._groups
+            ):
+                positions = incidence.rows_for_any(columns)
+                if positions.size:
+                    segments = np.unique(
+                        np.searchsorted(
+                            group.segment_starts, positions, side="right"
+                        )
+                        - 1
+                    )
+                    row_parts.append(group.segment_rows[segments])
+                else:
+                    segments = positions
+                affected_segments.append(segments)
+            if not row_parts:
+                out[s] = totals
+                scratch[columns] = base[columns]
+                continue
+            affected_rows = np.unique(np.concatenate(row_parts))
+            row = totals.copy()
+            row[affected_rows] = self._constant[affected_rows]
+            # Pass 2: re-fold every segment owned by an affected row —
+            # recomputing the affected ones, reusing baseline reductions for
+            # the rest.
+            for (incidence, _monomial_rows, ends), group, segments, base_segments in zip(
+                index, self._groups, affected_segments, segment_values
+            ):
+                lookup = np.searchsorted(affected_rows, group.segment_rows)
+                lookup = np.minimum(lookup, affected_rows.size - 1)
+                in_rows = np.flatnonzero(
+                    affected_rows[lookup] == group.segment_rows
+                )
+                if in_rows.size == 0:
+                    continue
+                folded = base_segments[in_rows].copy()
+                if segments.size:
+                    positions, local_starts = ragged_ranges(
+                        group.segment_starts[segments], ends[segments]
+                    )
+                    recomputed = self._reduce(
+                        self._restricted_contributions(group, scratch, positions),
+                        local_starts,
+                        axis=0,
+                    )
+                    folded[np.searchsorted(in_rows, segments)] = recomputed
+                self._fold_rows(row, group.segment_rows[in_rows], folded)
+            out[s] = row
+            scratch[columns] = base[columns]
+        return out
+
 
 class _CompiledTropicalSet(_CompiledNumericSet):
     """Min-plus compilation: costs add along a monomial, rows take minima."""
@@ -192,6 +365,16 @@ class _CompiledTropicalSet(_CompiledNumericSet):
 
     def _accumulate(self, totals, rows, segments, axis):
         totals[:, rows] = np.minimum(totals[:, rows], segments)
+
+    def _restricted_contributions(self, group, values, positions):
+        gathered = values[group.indices[positions]]
+        return (
+            np.sum(gathered * group.exponents[positions], axis=-1)
+            + group.coefficients[positions]
+        )
+
+    def _fold_rows(self, totals, rows, segments):
+        totals[rows] = np.minimum(totals[rows], segments)
 
 
 class _CompiledBooleanSet(_CompiledNumericSet):
@@ -221,6 +404,14 @@ class _CompiledBooleanSet(_CompiledNumericSet):
 
     def _accumulate(self, totals, rows, segments, axis):
         totals[:, rows] = np.maximum(totals[:, rows], segments.astype(np.float64))
+
+    def _restricted_contributions(self, group, values, positions):
+        gathered = values[group.indices[positions]] != 0.0
+        present = np.all(gathered, axis=-1)
+        return present & (group.coefficients[positions] != 0.0)
+
+    def _fold_rows(self, totals, rows, segments):
+        totals[rows] = np.maximum(totals[rows], segments.astype(np.float64))
 
     def _to_python(self, value: np.floating) -> Any:
         return bool(value != 0.0)

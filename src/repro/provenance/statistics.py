@@ -112,8 +112,10 @@ def enumerate_monomial_rows(
     (groups in key-insertion order, terms in canonical monomial order);
     ``variable_rows`` maps each variable to the ascending row indices whose
     monomial contains it.  This row-level view is the foundation of the
-    incremental compression kernel's CSR incidence index
-    (:mod:`repro.core.kernel.index`), and is useful on its own whenever an
+    shared variable→monomial inverted index
+    (:mod:`repro.provenance.incidence`, fingerprint-cached) that both the
+    incremental compression kernel (:mod:`repro.core.kernel.index`) and the
+    sparse delta evaluators build on, and is useful on its own whenever an
     algorithm needs "which monomials does this variable touch?" answered in
     O(1) after one linear pass.
     """
@@ -129,22 +131,26 @@ def enumerate_monomial_rows(
 
 
 def describe_provenance(provenance: ProvenanceSet) -> ProvenanceStatistics:
-    """Compute :class:`ProvenanceStatistics` for ``provenance``."""
-    group_sizes: List[int] = []
+    """Compute :class:`ProvenanceStatistics` for ``provenance``.
+
+    Built on the same flattened row view (:func:`enumerate_monomial_rows`)
+    the incidence indexes consume, so the statistics and the sparse kernels
+    agree on what counts as a monomial row.
+    """
+    rows, variable_rows = enumerate_monomial_rows(provenance)
+    group_sizes: List[int] = [0] * len(provenance)
     degree_histogram: Dict[int, int] = {}
-    occurrences: Dict[str, int] = {}
     mass: Dict[str, float] = {}
 
-    for _key, polynomial in provenance.items():
-        group_sizes.append(polynomial.num_monomials())
-        for monomial, coefficient in polynomial.terms():
-            degree = monomial.degree()
-            degree_histogram[degree] = degree_histogram.get(degree, 0) + 1
-            for name, _exponent in monomial:
-                occurrences[name] = occurrences.get(name, 0) + 1
-                mass[name] = mass.get(name, 0.0) + abs(coefficient)
+    for group_index, factors, coefficient in rows:
+        group_sizes[group_index] += 1
+        degree = sum(exponent for _name, exponent in factors)
+        degree_histogram[degree] = degree_histogram.get(degree, 0) + 1
+        for name, _exponent in factors:
+            mass[name] = mass.get(name, 0.0) + abs(coefficient)
 
-    size = sum(group_sizes)
+    occurrences = {name: len(ids) for name, ids in variable_rows.items()}
+    size = len(rows)
     return ProvenanceStatistics(
         num_groups=len(provenance),
         size=size,

@@ -33,9 +33,17 @@ from typing import (
 import numpy as np
 
 from repro.exceptions import MissingValuationError
+from repro.provenance.incidence import (
+    VariableIncidence,
+    expand_segment_rows,
+)
 from repro.provenance.polynomial import Number, Polynomial, ProvenanceSet
 
 T = TypeVar("T")
+
+#: One sparse scenario: ``(changed column indices, new values)`` relative to
+#: a shared base vector in a compiled set's variable order.
+DeltaPlanRow = Tuple[np.ndarray, np.ndarray]
 
 #: Sentinel distinguishing "key absent" from a legitimately cached falsy
 #: value (``None``, ``0``, ``False`` ...) in :class:`FingerprintCache`.
@@ -470,9 +478,23 @@ class CompiledProvenanceSet:
     vectorised operations with no per-monomial Python loop.
     """
 
-    __slots__ = ("_keys", "_variables", "_index", "_constant", "_groups")
+    #: Implements the sparse delta surface (``baseline_totals`` /
+    #: ``evaluate_deltas``) the batch evaluator's sparse mode dispatches on.
+    supports_deltas = True
+
+    __slots__ = (
+        "_keys",
+        "_variables",
+        "_index",
+        "_constant",
+        "_groups",
+        "_delta_index",
+        "_delta_baseline",
+    )
 
     def __init__(self, provenance: ProvenanceSet) -> None:
+        self._delta_index = None
+        self._delta_baseline = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
         variables = sorted(provenance.variables())
         self._variables: Tuple[str, ...] = tuple(variables)
@@ -589,3 +611,223 @@ class CompiledProvenanceSet:
             return np.zeros((0, len(self._keys)), dtype=np.float64)
         matrix = np.stack([self.values_vector(v) for v in valuations])
         return self.evaluate_matrix(matrix)
+
+    # -- sparse delta evaluation ---------------------------------------------
+
+    def dense_row_footprint(self) -> int:
+        """float64 cells :meth:`evaluate_matrix` materialises per scenario row.
+
+        The gather/power/product temporaries over every monomial factor
+        dominate; chunking layers use this to bound peak memory.
+        """
+        cells = len(self._variables) + len(self._keys)
+        for group in self._groups:
+            cells += group.indices.size
+        return max(1, cells)
+
+    def _delta_groups(self):
+        """Per-group inverted variable→monomial index plus per-monomial rows.
+
+        Immutable once built (concurrent builders may race, but every result
+        is equivalent), so cached compiled sets stay safe to share.
+        """
+        if self._delta_index is None:
+            self._delta_index = tuple(
+                (
+                    VariableIncidence.from_factor_arrays(
+                        len(self._variables), group.indices, group.exponents
+                    ),
+                    expand_segment_rows(
+                        group.segment_starts,
+                        group.segment_rows,
+                        len(group.coefficients),
+                    ),
+                )
+                for group in self._groups
+            )
+        return self._delta_index
+
+    def _delta_state(self, base_vector: np.ndarray):
+        """Baseline-once state for ``base_vector``: contributions + totals."""
+        base_vector = np.asarray(base_vector, dtype=np.float64)
+        if base_vector.shape != (len(self._variables),):
+            raise ValueError(
+                f"expected a base vector of {len(self._variables)} variables, "
+                f"got shape {base_vector.shape}"
+            )
+        key = base_vector.tobytes()
+        if self._delta_baseline is None or self._delta_baseline[0] != key:
+            contributions = tuple(
+                group.contributions(base_vector) for group in self._groups
+            )
+            totals = self._constant.copy()
+            for group, contrib in zip(self._groups, contributions):
+                totals[group.segment_rows] += np.add.reduceat(
+                    contrib, group.segment_starts
+                )
+            self._delta_baseline = (key, base_vector.copy(), contributions, totals)
+        return self._delta_baseline
+
+    def baseline_totals(self, base_vector: np.ndarray) -> np.ndarray:
+        """The per-group results under ``base_vector`` (the sparse baseline)."""
+        return self._delta_state(base_vector)[3].copy()
+
+    def evaluate_deltas(
+        self, base_vector: np.ndarray, plans: Sequence[DeltaPlanRow]
+    ) -> np.ndarray:
+        """Evaluate sparse scenarios as deltas against one shared base vector.
+
+        Each plan is ``(changed_columns, new_values)`` over this set's
+        variable order, with distinct columns per plan (what
+        :meth:`~repro.batch.planner.ScenarioBatch.delta_plan` emits).  The
+        base valuation is evaluated once; the whole
+        batch of scenarios is then answered with a handful of vectorised
+        passes over the *occurrences* of changed variables (via the inverted
+        variable→monomial index) — O(touched monomials), not O(monomials ×
+        scenarios):
+
+        * every occurrence contributes its monomial's multiplicative ratio
+          update ``old · (new/base − 1)``, accumulated into per-scenario
+          result rows with one global ``bincount``;
+        * monomials touched by several changed variables of one scenario get
+          an exact product fix-up through two persistent scatter buffers;
+        * scenarios whose ratios misbehave (a zero, subnormal or otherwise
+          over/underflowing base value) fall back to one exact full
+          re-evaluation of their row.
+
+        Returns the same ``scenarios × groups`` array the dense
+        :meth:`evaluate_matrix` path produces for the corresponding rows.
+        """
+        index = self._delta_groups()
+        _key, base, contributions, totals = self._delta_state(base_vector)
+        num_keys = len(self._keys)
+        num_plans = len(plans)
+        out = np.tile(totals, (num_plans, 1))
+        if num_plans == 0 or num_keys == 0:
+            return out
+
+        # Split the batch: scenarios with finite per-column ratios take the
+        # vectorised delta passes; the rest (zero/subnormal base values) are
+        # re-evaluated exactly, one full row each.
+        column_parts: List[np.ndarray] = []
+        ratio_parts: List[np.ndarray] = []
+        sid_parts: List[np.ndarray] = []
+        exact = []
+        # Scenarios with a single changed column can never need the
+        # multi-touch product fix-up (a variable occurs once per monomial).
+        multi_column = np.zeros(num_plans, dtype=np.bool_)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            for s, (columns, values) in enumerate(plans):
+                columns = np.asarray(columns, dtype=np.intp)
+                values = np.asarray(values, dtype=np.float64)
+                if columns.size == 0:
+                    continue
+                ratios = values / base[columns]
+                if np.isfinite(ratios).all():
+                    column_parts.append(columns)
+                    ratio_parts.append(ratios)
+                    sid_parts.append(
+                        np.full(columns.size, s, dtype=np.intp)
+                    )
+                    multi_column[s] = columns.size > 1
+                else:
+                    exact.append((s, columns, values))
+
+            bad_sids: set = set()
+            if column_parts:
+                all_columns = np.concatenate(column_parts)
+                all_ratios = np.concatenate(ratio_parts)
+                all_sids = np.concatenate(sid_parts)
+                corrections = np.zeros(num_plans * num_keys, dtype=np.float64)
+                any_multi = bool(multi_column.any())
+                for (incidence, monomial_rows), group, base_contrib in zip(
+                    index, self._groups, contributions
+                ):
+                    # Scatter buffers for the product fix-up, allocated per
+                    # call (not cached on the instance) so concurrently
+                    # shared compiled sets never race on them; they are
+                    # reset to the identity after each scenario segment.
+                    if any_multi:
+                        products = np.ones(
+                            len(group.coefficients), dtype=np.float64
+                        )
+                        counts = np.zeros(
+                            len(group.coefficients), dtype=np.float64
+                        )
+                    occ_pos, occ_exp, occ_counts = incidence.occurrences(
+                        all_columns
+                    )
+                    if occ_pos.size == 0:
+                        continue
+                    occ_ratio = np.repeat(all_ratios, occ_counts)
+                    if group.has_higher_powers:
+                        occ_ratio = np.power(occ_ratio, occ_exp)
+                    occ_sid = np.repeat(all_sids, occ_counts)
+                    old = base_contrib[occ_pos]
+                    linear = old * (occ_ratio - 1.0)
+                    if not np.isfinite(linear).all():
+                        # Over/underflowed updates poison their scenarios'
+                        # correction rows; re-evaluate those rows exactly
+                        # (the pollution is overwritten below).
+                        bad = ~np.isfinite(linear)
+                        bad_sids.update(int(s) for s in np.unique(occ_sid[bad]))
+                    corrections += np.bincount(
+                        occ_sid * num_keys + monomial_rows[occ_pos],
+                        weights=linear,
+                        minlength=num_plans * num_keys,
+                    )[: num_plans * num_keys]
+                    # Product fix-up: within one scenario, a monomial touched
+                    # by k >= 2 changed variables must contribute
+                    # old·(∏ratios − 1), not the sum of its linear updates.
+                    if not any_multi:
+                        continue
+                    boundaries = np.flatnonzero(
+                        np.concatenate(([True], occ_sid[1:] != occ_sid[:-1]))
+                    )
+                    ends = np.append(boundaries[1:], occ_sid.size)
+                    for b, e in zip(boundaries, ends):
+                        if e - b < 2 or not multi_column[occ_sid[b]]:
+                            continue
+                        pos = occ_pos[b:e]
+                        np.add.at(counts, pos, 1.0)
+                        k = counts[pos]
+                        collided = k > 1.0
+                        if collided.any():
+                            cpos = pos[collided]
+                            cratio = occ_ratio[b:e][collided]
+                            np.multiply.at(products, cpos, cratio)
+                            fix = old[b:e][collided] * (
+                                (products[cpos] - 1.0) / k[collided]
+                                - (cratio - 1.0)
+                            )
+                            if np.isfinite(fix).all():
+                                np.add.at(
+                                    corrections,
+                                    int(occ_sid[b]) * num_keys
+                                    + monomial_rows[cpos],
+                                    fix,
+                                )
+                            else:
+                                bad_sids.add(int(occ_sid[b]))
+                            products[cpos] = 1.0
+                        counts[pos] = 0.0
+                out += corrections.reshape(num_plans, num_keys)
+
+            # Exact fallback: one full (still vectorised) row re-evaluation
+            # per affected scenario — the cost of one dense row, only for
+            # the scenarios that need it.
+            if exact or bad_sids:
+                scratch = base.copy()
+                for s in sorted(bad_sids):
+                    exact.append(
+                        (
+                            s,
+                            np.asarray(plans[s][0], dtype=np.intp),
+                            np.asarray(plans[s][1], dtype=np.float64),
+                        )
+                    )
+                for s, columns, values in exact:
+                    scratch[columns] = values
+                    out[s] = self._evaluate_values(scratch)
+                    scratch[columns] = base[columns]
+        return out

@@ -34,7 +34,7 @@ class TestBatchCommand:
         assert main(self.ARGS) == 0
         output = capsys.readouterr().out
         assert "12 scenarios x 5 result groups" in output
-        assert "batch evaluation:" in output
+        assert "batch evaluation (" in output
         assert "compressed provenance" not in output
 
     def test_with_bound_and_sequential_comparison(self, capsys, tmp_path):
