@@ -147,6 +147,23 @@ def measure(
         repeats,
     )
 
+    # One traced pass through a fresh evaluator (so compilation is not
+    # cache-hit away) gives the per-stage breakdown: compile vs lower vs
+    # kernel vs reduce.  Tracing stays off for every timed run above.
+    from repro.obs import (
+        aggregate_stages,
+        disable_tracing,
+        enable_tracing,
+        get_tracer,
+    )
+
+    enable_tracing()
+    try:
+        BatchEvaluator().evaluate(provenance, scenarios, mode="auto")
+        stages = aggregate_stages(get_tracer().drain())
+    finally:
+        disable_tracing()
+
     return {
         "monomials": provenance.size(),
         "variables": provenance.num_variables(),
@@ -161,6 +178,7 @@ def measure(
         "sparse_speedup": dense_seconds / max(sparse_seconds, 1e-12),
         "sharded_speedup": dense_seconds / max(sharded_seconds, 1e-12),
         "auto_picked_sparse": auto_picked_sparse,
+        "stages": stages,
     }
 
 

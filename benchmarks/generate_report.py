@@ -211,6 +211,18 @@ def report_batch(json_path: str, quick: bool = False) -> None:
         f"({record['scenarios']} scenarios x {record['monomials']} monomials, "
         f"{record['touched_fraction']:.1%} of variables touched)"
     )
+    stages = record.get("stages", {})
+    if stages:
+        print("\nper-stage breakdown (one traced auto-mode pass):")
+        print("| stage | count | total | self |")
+        print("|---|---|---|---|")
+        for name in sorted(stages, key=lambda n: -stages[n]["self_seconds"]):
+            entry = stages[name]
+            print(
+                f"| {name} | {entry['count']} "
+                f"| {entry['total_seconds'] * 1e3:.1f} ms "
+                f"| {entry['self_seconds'] * 1e3:.1f} ms |"
+            )
     Path(json_path).write_text(json.dumps(record, indent=2))
     print(f"baseline written to {json_path}")
 

@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.compression import Abstraction, Compressor
 from repro.core.defaults import default_meta_valuation
 from repro.engine.scenario import Scenario
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_span, get_tracer, trace, tracing_enabled
 from repro.provenance.backends import BackendLike, resolve_backend
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.valuation import (
@@ -71,17 +73,56 @@ _EVALUATION_MODES = ("auto", "dense", "sparse")
 _SHARD_STATE: Dict[str, object] = {}
 
 
-def _init_shard_worker(compiled, base_vector) -> None:
+def _init_shard_worker(compiled, base_vector, obs: bool = False) -> None:
     _SHARD_STATE["compiled"] = compiled
     _SHARD_STATE["base"] = base_vector
+    _SHARD_STATE["obs"] = obs
+    if obs:
+        # Fresh observability state in the worker: a forked child inherits
+        # the parent's open span stack and recorded roots, which must not
+        # leak into the subtrees this worker ships home.
+        tracer = get_tracer()
+        tracer.reset()
+        tracer.enabled = True
 
 
-def _dense_shard_worker(matrix: np.ndarray) -> np.ndarray:
-    return _SHARD_STATE["compiled"].evaluate_matrix(matrix)
+def _obs_shard(func, **attributes):
+    """Run one shard under a ``batch.shard`` span and capture its telemetry.
+
+    The worker returns ``(result, span_dicts, metrics_delta)``: its completed
+    span subtrees serialised to dicts plus the metric delta the shard
+    produced, which the parent grafts back via :meth:`Tracer.attach` and
+    :meth:`MetricsRegistry.merge`.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    before = registry.snapshot()
+    with trace("batch.shard", **attributes):
+        result = func()
+    spans = [span.to_dict() for span in tracer.drain()]
+    return result, spans, registry.diff(before, registry.snapshot())
 
 
-def _sparse_shard_worker(plans) -> np.ndarray:
-    return _SHARD_STATE["compiled"].evaluate_deltas(_SHARD_STATE["base"], plans)
+def _dense_shard_worker(matrix: np.ndarray):
+    if not _SHARD_STATE.get("obs"):
+        return _SHARD_STATE["compiled"].evaluate_matrix(matrix)
+    return _obs_shard(
+        lambda: _SHARD_STATE["compiled"].evaluate_matrix(matrix),
+        kind="dense",
+        rows=int(matrix.shape[0]),
+    )
+
+
+def _sparse_shard_worker(plans):
+    if not _SHARD_STATE.get("obs"):
+        return _SHARD_STATE["compiled"].evaluate_deltas(_SHARD_STATE["base"], plans)
+    return _obs_shard(
+        lambda: _SHARD_STATE["compiled"].evaluate_deltas(
+            _SHARD_STATE["base"], plans
+        ),
+        kind="sparse",
+        rows=len(plans),
+    )
 
 
 def _process_map(processes, compiled, base_vector, worker, pieces):
@@ -90,24 +131,45 @@ def _process_map(processes, compiled, base_vector, worker, pieces):
     Process pools need working ``fork``/semaphores; sandboxes and exotic
     platforms may refuse them, in which case the shards are evaluated
     serially in-process — same results, no parallelism.
+
+    With tracing enabled, pool workers record their own span subtrees and
+    metric deltas (see :func:`_obs_shard`) and the parent merges them here,
+    stamping each grafted root with its shard index; the serial fallback
+    records plain nested ``batch.shard`` spans instead — it already runs
+    inside the parent's live trace, so nothing needs shipping.
     """
+    obs = tracing_enabled()
     try:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(
             max_workers=processes,
             initializer=_init_shard_worker,
-            initargs=(compiled, base_vector),
+            initargs=(compiled, base_vector, obs),
         ) as pool:
-            return list(pool.map(worker, pieces))
+            raw = list(pool.map(worker, pieces))
     except (ImportError, OSError, PermissionError, RuntimeError):
-        _init_shard_worker(compiled, base_vector)
+        _init_shard_worker(compiled, base_vector, False)
         try:
-            return [worker(piece) for piece in pieces]
+            results = []
+            for i, piece in enumerate(pieces):
+                with trace("batch.shard", shard=i, fallback="serial"):
+                    results.append(worker(piece))
+            return results
         finally:
             # The fallback runs in-process: drop the references so a large
             # compiled set is not pinned for the life of the service.
             _SHARD_STATE.clear()
+    if not obs:
+        return raw
+    tracer = get_tracer()
+    registry = get_registry()
+    results = []
+    for i, (result, spans, delta) in enumerate(raw):
+        results.append(result)
+        tracer.attach(spans, shard=i)
+        registry.merge(delta)
+    return results
 
 
 def _resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
@@ -281,7 +343,7 @@ class BatchEvaluator:
         self._chunk_size = chunk_size
         self._max_bytes = max_bytes
         self._processes = processes
-        self._compiled = FingerprintCache(cache_size)
+        self._compiled = FingerprintCache(cache_size, metrics="batch.compile_cache")
         self._compressor = compressor
 
     # -- compiled-provenance cache -------------------------------------------
@@ -294,14 +356,30 @@ class BatchEvaluator:
         the real backend, whose compiled form is ``CompiledProvenanceSet``.
         """
         backend = resolve_backend(semiring)
+
+        def build():
+            with trace(
+                "batch.compile", backend=backend.name, monomials=provenance.size()
+            ):
+                return backend.compile(provenance)
+
         return self._compiled.get_or_build(
-            (provenance.fingerprint(), backend.name),
-            lambda: backend.compile(provenance),
+            (provenance.fingerprint(), backend.name), build
         )
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/size counters of the compiled-provenance cache."""
         return self._compiled.info()
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Deprecated alias for :meth:`cache_info` (kept as a thin view).
+
+        The canonical surface is the process-wide metrics registry
+        (``repro.obs.get_registry().snapshot()``, counters
+        ``batch.compile_cache.hits`` / ``batch.compile_cache.misses``).
+        """
+        return self.cache_info()
 
     def clear_cache(self) -> None:
         """Drop every cached compilation (counters are kept)."""
@@ -345,19 +423,28 @@ class BatchEvaluator:
         matrix = np.asarray(matrix, dtype=np.float64)
         rows = matrix.shape[0]
         chunk = self._resolve_chunk_size(compiled, rows)
-        if rows <= chunk and not (processes and processes > 1):
-            return compiled.evaluate_matrix(matrix)
-        pieces = [matrix[start : start + chunk] for start in range(0, rows, chunk)]
-        if processes and processes > 1 and len(pieces) > 1:
-            results = _process_map(
-                processes, compiled, None, _dense_shard_worker, pieces
-            )
-        elif self._max_workers is not None and self._max_workers > 1 and len(pieces) > 1:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                results = list(pool.map(compiled.evaluate_matrix, pieces))
-        else:
-            results = [compiled.evaluate_matrix(piece) for piece in pieces]
-        return np.concatenate(results, axis=0)
+        with trace("batch.kernel.dense", rows=rows, chunk=chunk) as span:
+            if rows <= chunk and not (processes and processes > 1):
+                return compiled.evaluate_matrix(matrix)
+            pieces = [
+                matrix[start : start + chunk] for start in range(0, rows, chunk)
+            ]
+            span.set("chunks", len(pieces))
+            if processes and processes > 1 and len(pieces) > 1:
+                span.set("processes", processes)
+                results = _process_map(
+                    processes, compiled, None, _dense_shard_worker, pieces
+                )
+            elif (
+                self._max_workers is not None
+                and self._max_workers > 1
+                and len(pieces) > 1
+            ):
+                with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                    results = list(pool.map(compiled.evaluate_matrix, pieces))
+            else:
+                results = [compiled.evaluate_matrix(piece) for piece in pieces]
+            return np.concatenate(results, axis=0)
 
     def evaluate_deltas(
         self,
@@ -372,18 +459,21 @@ class BatchEvaluator:
         delta state); each shard re-ships only its plans, so assembly memory
         is bounded by ``shards × shard_rows × groups`` floats.
         """
-        if not (processes and processes > 1) or len(plans) < 2:
-            return compiled.evaluate_deltas(base_vector, plans)
-        shard = max(1, -(-len(plans) // (processes * 4)))
-        pieces = [
-            plans[start : start + shard] for start in range(0, len(plans), shard)
-        ]
-        if len(pieces) == 1:
-            return compiled.evaluate_deltas(base_vector, plans)
-        results = _process_map(
-            processes, compiled, base_vector, _sparse_shard_worker, pieces
-        )
-        return np.concatenate(results, axis=0)
+        with trace("batch.kernel.sparse", rows=len(plans)) as span:
+            if not (processes and processes > 1) or len(plans) < 2:
+                return compiled.evaluate_deltas(base_vector, plans)
+            shard = max(1, -(-len(plans) // (processes * 4)))
+            pieces = [
+                plans[start : start + shard]
+                for start in range(0, len(plans), shard)
+            ]
+            if len(pieces) == 1:
+                return compiled.evaluate_deltas(base_vector, plans)
+            span.update({"processes": processes, "shards": len(pieces)})
+            results = _process_map(
+                processes, compiled, base_vector, _sparse_shard_worker, pieces
+            )
+            return np.concatenate(results, axis=0)
 
     # -- the full service entry point -----------------------------------------
 
@@ -419,6 +509,42 @@ class BatchEvaluator:
         shards scenario rows across worker processes (default: the
         evaluator's configured width).
         """
+        registry = get_registry()
+        registry.inc("batch.evaluations")
+        registry.inc("batch.scenarios", len(scenarios))
+        if not tracing_enabled():
+            return self._evaluate_impl(
+                provenance, scenarios, base_valuation, compressed, abstraction,
+                semiring, mode, processes,
+            )
+        with trace(
+            "batch.evaluate", scenarios=len(scenarios), requested_mode=mode
+        ) as span:
+            with registry.scope() as run:
+                report = self._evaluate_impl(
+                    provenance, scenarios, base_valuation, compressed,
+                    abstraction, semiring, mode, processes,
+                )
+            span.update(
+                {
+                    "mode": report.mode,
+                    "semiring": report.semiring,
+                    "metrics": run.metrics,
+                }
+            )
+        return report
+
+    def _evaluate_impl(
+        self,
+        provenance: ProvenanceSet,
+        scenarios: Sequence[Scenario],
+        base_valuation: Optional[Mapping[str, float]],
+        compressed: Optional[ProvenanceSet],
+        abstraction: Optional[Abstraction],
+        semiring: BackendLike,
+        mode: str,
+        processes: Optional[int],
+    ) -> BatchReport:
         if (compressed is None) != (abstraction is None):
             raise ValueError(
                 "compressed and abstraction must be provided together"
@@ -456,6 +582,16 @@ class BatchEvaluator:
                 f"the {backend.name!r} backend's compiled form does not "
                 "support sparse delta evaluation; use mode='dense'"
             )
+        chosen = "sparse" if use_sparse else "dense"
+        get_registry().inc(f"batch.mode.{chosen}")
+        if tracing_enabled():
+            current_span().update(
+                {
+                    "touched_fraction": batch.touched_fraction(),
+                    "mode": chosen,
+                    "backend": backend.name,
+                }
+            )
 
         compiled_compressed = None
         if compressed is not None and abstraction is not None:
@@ -472,25 +608,27 @@ class BatchEvaluator:
                 fill, processes,
             )
 
-        compressed_results = None
-        compressed_size = None
-        if compiled_compressed is not None:
-            compressed_results = self._align_compressed(
-                compiled_full, compiled_compressed, full_results, meta_rows, backend
-            )
-            compressed_size = compressed.size()
+        with trace("batch.reduce", keys=len(compiled_full.keys)):
+            compressed_results = None
+            compressed_size = None
+            if compiled_compressed is not None:
+                compressed_results = self._align_compressed(
+                    compiled_full, compiled_compressed, full_results, meta_rows,
+                    backend,
+                )
+                compressed_size = compressed.size()
 
-        return BatchReport(
-            scenario_names=batch.names,
-            keys=compiled_full.keys,
-            baseline=baseline,
-            full_results=full_results,
-            compressed_results=compressed_results,
-            full_size=provenance.size(),
-            compressed_size=compressed_size,
-            semiring=backend.name,
-            mode="sparse" if use_sparse else "dense",
-        )
+            return BatchReport(
+                scenario_names=batch.names,
+                keys=compiled_full.keys,
+                baseline=baseline,
+                full_results=full_results,
+                compressed_results=compressed_results,
+                full_size=provenance.size(),
+                compressed_size=compressed_size,
+                semiring=backend.name,
+                mode="sparse" if use_sparse else "dense",
+            )
 
     # -- the two numeric pipelines --------------------------------------------
 
@@ -590,6 +728,9 @@ class BatchEvaluator:
         ``mode`` takes this same per-scenario loop (reported as
         ``mode="generic"``), so results never depend on the mode knob.
         """
+        get_registry().inc("batch.mode.generic")
+        if tracing_enabled():
+            current_span().update({"mode": "generic", "backend": backend.name})
         base = (
             Valuation(dict(base_valuation), semiring=backend)
             if base_valuation
@@ -622,23 +763,24 @@ class BatchEvaluator:
             if compiled_compressed is not None
             else None
         )
-        for i, scenario in enumerate(scenarios):
-            valuation = scenario.apply(base, universe)
-            row = compiled_full.evaluate(valuation)
-            for j, key in enumerate(keys):
-                full_results[i, j] = row[key]
-            if compiled_compressed is not None:
-                meta_valuation = default_meta_valuation(
-                    abstraction, valuation, on_missing="skip", semiring=backend
-                )
-                missing = meta_valuation.missing(compiled_compressed.variables)
-                if missing:
-                    meta_valuation = meta_valuation.updated(
-                        {name: backend.default_value(name) for name in missing}
-                    )
-                compressed_row = compiled_compressed.evaluate(meta_valuation)
+        with trace("batch.kernel.generic", rows=len(scenarios)):
+            for i, scenario in enumerate(scenarios):
+                valuation = scenario.apply(base, universe)
+                row = compiled_full.evaluate(valuation)
                 for j, key in enumerate(keys):
-                    compressed_results[i, j] = compressed_row.get(key, zero)
+                    full_results[i, j] = row[key]
+                if compiled_compressed is not None:
+                    meta_valuation = default_meta_valuation(
+                        abstraction, valuation, on_missing="skip", semiring=backend
+                    )
+                    missing = meta_valuation.missing(compiled_compressed.variables)
+                    if missing:
+                        meta_valuation = meta_valuation.updated(
+                            {name: backend.default_value(name) for name in missing}
+                        )
+                    compressed_row = compiled_compressed.evaluate(meta_valuation)
+                    for j, key in enumerate(keys):
+                        compressed_results[i, j] = compressed_row.get(key, zero)
 
         return BatchReport(
             scenario_names=names,

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.scenario import Scenario
+from repro.obs.tracer import trace
 from repro.provenance.valuation import Valuation
 
 _EMPTY_COLUMNS = np.zeros(0, dtype=np.intp)
@@ -185,22 +186,28 @@ class ScenarioBatch:
         backend's identity fill for other numeric semirings (e.g. 0.0 added
         cost in the tropical backend).
         """
-        if base is None:
-            base = Valuation.uniform(self._variables, fill)
-        base_row = np.array(
-            [float(base.get(name, fill)) for name in self._variables],
-            dtype=np.float64,
-        )
-        matrix = np.tile(base_row, (len(self._scenarios), 1))
-        for row, operations in enumerate(self._resolved):
-            for kind, columns, amount in operations:
-                if columns.size == 0:
-                    continue
-                if kind == "scale":
-                    matrix[row, columns] *= amount
-                else:
-                    matrix[row, columns] = amount
-        return matrix
+        with trace(
+            "batch.lower",
+            kind="dense",
+            scenarios=len(self._scenarios),
+            variables=len(self._variables),
+        ):
+            if base is None:
+                base = Valuation.uniform(self._variables, fill)
+            base_row = np.array(
+                [float(base.get(name, fill)) for name in self._variables],
+                dtype=np.float64,
+            )
+            matrix = np.tile(base_row, (len(self._scenarios), 1))
+            for row, operations in enumerate(self._resolved):
+                for kind, columns, amount in operations:
+                    if columns.size == 0:
+                        continue
+                    if kind == "scale":
+                        matrix[row, columns] *= amount
+                    else:
+                        matrix[row, columns] = amount
+            return matrix
 
     def delta_plan(
         self, base: Optional[Mapping[str, float]] = None, fill: float = 1.0
@@ -213,6 +220,17 @@ class ScenarioBatch:
         O(universe + touched cells), independent of the batch size × universe
         product the dense lowering pays.
         """
+        with trace(
+            "batch.lower",
+            kind="sparse",
+            scenarios=len(self._scenarios),
+            variables=len(self._variables),
+        ):
+            return self._delta_plan(base, fill)
+
+    def _delta_plan(
+        self, base: Optional[Mapping[str, float]], fill: float
+    ) -> DeltaPlan:
         if base is None:
             base = Valuation.uniform(self._variables, fill)
         base_row = np.array(

@@ -332,23 +332,45 @@ def run_whatif(args: argparse.Namespace) -> int:
 
 
 def run_stats(args: argparse.Namespace) -> int:
-    """Describe a provenance JSON file and (optionally) its size profile."""
-    from repro.core.optimizer import compute_size_profile
-    from repro.provenance.statistics import describe_provenance
+    """Describe a provenance JSON file and/or a dumped runtime trace."""
+    if not args.input and not args.runtime:
+        _print("cobra stats: provide --input and/or --runtime")
+        return 1
 
-    provenance = load_provenance_set(args.input)
-    statistics = describe_provenance(provenance)
-    _print("== provenance statistics ==")
-    _print(statistics.render_text())
+    if args.input:
+        from repro.core.optimizer import compute_size_profile
+        from repro.provenance.statistics import describe_provenance
 
-    if args.tree:
-        tree = AbstractionTree.from_dict(json.loads(Path(args.tree).read_text()))
-        profile = compute_size_profile(provenance, tree)
-        _print("")
-        _print(f"== size profile for tree rooted at {tree.root!r} ==")
-        _print(f"{'variables':>10} {'min size':>10}")
-        for cardinality in sorted(profile):
-            _print(f"{cardinality:>10} {profile[cardinality]:>10}")
+        provenance = load_provenance_set(args.input)
+        statistics = describe_provenance(provenance)
+        _print("== provenance statistics ==")
+        _print(statistics.render_text())
+
+        if args.tree:
+            tree = AbstractionTree.from_dict(
+                json.loads(Path(args.tree).read_text())
+            )
+            profile = compute_size_profile(provenance, tree)
+            _print("")
+            _print(f"== size profile for tree rooted at {tree.root!r} ==")
+            _print(f"{'variables':>10} {'min size':>10}")
+            for cardinality in sorted(profile):
+                _print(f"{cardinality:>10} {profile[cardinality]:>10}")
+
+    if args.runtime:
+        from repro.obs import aggregate_stages, load_trace, render_stage_table
+
+        document = load_trace(args.runtime)
+        if args.input:
+            _print("")
+        _print(f"== runtime stage profile ({args.runtime}) ==")
+        _print(render_stage_table(aggregate_stages(document["spans"])))
+        counters = document.get("metrics", {}).get("counters", {})
+        if counters:
+            _print("")
+            _print("counters:")
+            for name in sorted(counters):
+                _print(f"  {name:<40} {counters[name]}")
     return 0
 
 
@@ -434,6 +456,18 @@ def _add_batch_mode_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace of the run and print it as a tree",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="PATH",
+        help="record a span trace and write it (with the metric counters) "
+        "as JSON; inspect it later with `cobra stats --runtime PATH`",
+    )
+
+
 def _add_strategy_argument(parser: argparse.ArgumentParser, default: str) -> None:
     parser.add_argument(
         "--strategy",
@@ -455,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser("demo", help="run the Figure 1 running example")
     demo.add_argument("--bound", type=int, default=4, help="monomial bound")
     _add_semiring_argument(demo)
+    _add_trace_arguments(demo)
     demo.set_defaults(func=run_demo)
 
     whatif = subparsers.add_parser(
@@ -474,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whatif.add_argument("--top", type=int, default=8, help="rows to print")
     _add_batch_mode_arguments(whatif)
+    _add_trace_arguments(whatif)
     whatif.set_defaults(func=run_whatif)
 
     telephony = subparsers.add_parser(
@@ -490,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="monomial bounds to try (paper: 94600 and 38600)",
     )
     _add_strategy_argument(telephony, default="auto")
+    _add_trace_arguments(telephony)
     telephony.set_defaults(func=run_telephony)
 
     batch = subparsers.add_parser(
@@ -516,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--json", help="where to write a JSON summary")
     _add_strategy_argument(batch, default="auto")
+    _add_trace_arguments(batch)
     batch.set_defaults(func=run_batch)
 
     tpch = subparsers.add_parser("tpch", help="run the TPC-H workload")
@@ -529,8 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser(
         "stats", help="describe a provenance JSON file (and its size profile)"
     )
-    stats.add_argument("--input", required=True, help="provenance JSON file")
+    stats.add_argument("--input", help="provenance JSON file")
     stats.add_argument("--tree", help="optional tree JSON file for the size profile")
+    stats.add_argument(
+        "--runtime", metavar="PATH",
+        help="trace JSON written by --trace-json; print its per-stage "
+        "runtime profile and metric counters",
+    )
     stats.set_defaults(func=run_stats)
 
     compress = subparsers.add_parser(
@@ -546,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compress.add_argument("--allow-infeasible", action="store_true")
     _add_strategy_argument(compress, default="auto")
+    _add_trace_arguments(compress)
     compress.set_defaults(func=run_compress)
 
     return parser
@@ -558,7 +602,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not getattr(args, "func", None):
         parser.print_help()
         return 1
-    return args.func(args)
+    if not (getattr(args, "trace", False) or getattr(args, "trace_json", None)):
+        return args.func(args)
+
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        get_registry,
+        get_tracer,
+        render_span_tree,
+        write_trace,
+    )
+
+    enable_tracing()
+    try:
+        status = args.func(args)
+    finally:
+        spans = get_tracer().drain()
+        metrics = get_registry().snapshot()
+        disable_tracing()
+    if getattr(args, "trace", False):
+        _print()
+        _print("== trace ==")
+        _print(render_span_tree(spans))
+    if getattr(args, "trace_json", None):
+        write_trace(args.trace_json, spans, metrics)
+        _print(f"trace written to {args.trace_json}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

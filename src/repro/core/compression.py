@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import AbstractionError
+from repro.obs.tracer import trace as obs_trace
 from repro.provenance.polynomial import Polynomial, ProvenanceSet
 from repro.core.abstraction_tree import AbstractionForest, AbstractionTree, as_forest
 from repro.core.cut import Cut
@@ -253,7 +254,9 @@ class Compressor:
     def __init__(self, cache_size: int = 8) -> None:
         from repro.provenance.valuation import FingerprintCache
 
-        self._trajectories = FingerprintCache(cache_size)
+        self._trajectories = FingerprintCache(
+            cache_size, metrics="compress.trajectory_cache"
+        )
 
     def compress(
         self,
@@ -267,6 +270,20 @@ class Compressor:
         """Select and apply the best abstraction of ``trees`` under ``bound``."""
         if bound < 0:
             raise ValueError("bound must be non-negative")
+        with obs_trace("compress.run", strategy=strategy, bound=bound):
+            return self._compress(
+                provenance, trees, bound, strategy, allow_infeasible, keep_trace
+            )
+
+    def _compress(
+        self,
+        provenance: ProvenanceLike,
+        trees: "AbstractionTree | AbstractionForest",
+        bound: int,
+        strategy: str,
+        allow_infeasible: bool,
+        keep_trace: bool,
+    ) -> "OptimizationResult":
         if strategy == "legacy":
             from repro.core.greedy import optimize_greedy
 
@@ -367,13 +384,27 @@ class Compressor:
             forest_signature(forest),
             tuple(id(tree) for tree in forest.trees()),
         )
-        return self._trajectories.get_or_build(
-            key, lambda: GreedyTrajectory(provenance_set, forest)
-        )
+        def build():
+            with obs_trace(
+                "compress.trajectory", monomials=provenance_set.size()
+            ):
+                return GreedyTrajectory(provenance_set, forest)
+
+        return self._trajectories.get_or_build(key, build)
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/size counters of the trajectory cache."""
         return self._trajectories.info()
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Deprecated alias for :meth:`cache_info` (kept as a thin view).
+
+        The canonical surface is the process-wide metrics registry
+        (``repro.obs.get_registry().snapshot()``, counters
+        ``compress.trajectory_cache.hits`` / ``.misses``).
+        """
+        return self.cache_info()
 
     def clear_cache(self) -> None:
         """Drop this instance's cached trajectories (counters are kept).

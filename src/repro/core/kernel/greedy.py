@@ -42,6 +42,8 @@ import heapq
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import UnsupportedPolynomialError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace
 from repro.provenance.polynomial import _ZERO_EPSILON, ProvenanceSet
 from repro.core.abstraction_tree import (
     AbstractionForest,
@@ -191,6 +193,10 @@ class IncrementalGreedyKernel:
         self.current_size = len(index.rows)
         self._prev_drift = 0
         self._steps: List[Dict[str, object]] = []
+        # Plain-int instrumentation counters (flushed to the metrics
+        # registry per run(); attribute adds keep the inner loops hot).
+        self.heap_pops = 0
+        self.gain_updates = 0
 
         # Initial gain counters straight off the CSR incidence index.
         for candidate in self._candidates.values():
@@ -243,6 +249,7 @@ class IncrementalGreedyKernel:
             candidate = self._candidates[name]
             if not candidate.active:
                 continue
+            self.gain_updates += 1
             candidate.stamp += 1
             saved = candidate.gain() + drift
             lost = candidate.r_size - 1
@@ -267,6 +274,7 @@ class IncrementalGreedyKernel:
             candidate = self._candidates[name]
             if not candidate.active or stamp != candidate.stamp:
                 heapq.heappop(heap)  # stale lazy-heap entry
+                self.heap_pops += 1
                 continue
             return name
         return None
@@ -418,14 +426,34 @@ class IncrementalGreedyKernel:
     def run(self, bound: int) -> bool:
         """Coarsen greedily until ``current_size <= bound`` (or no candidates).
 
-        Returns whether the bound was met.
+        Returns whether the bound was met.  Each run is one traced
+        ``kernel.run`` span; heap pops, gain updates and steps performed are
+        flushed to the metrics registry (``kernel.*`` counters).
         """
-        while self.current_size > bound:
-            name = self.best()
-            if name is None:
-                break
-            self.apply(name)
-        return self.current_size <= bound
+        pops_before = self.heap_pops
+        updates_before = self.gain_updates
+        steps_before = len(self._steps)
+        with trace(
+            "kernel.run", bound=bound, size_before=self.current_size
+        ) as span:
+            while self.current_size > bound:
+                name = self.best()
+                if name is None:
+                    break
+                self.apply(name)
+            met = self.current_size <= bound
+            span.update(
+                {
+                    "size_after": self.current_size,
+                    "steps": len(self._steps) - steps_before,
+                    "met": met,
+                }
+            )
+        registry = get_registry()
+        registry.inc("kernel.steps", len(self._steps) - steps_before)
+        registry.inc("kernel.heap_pops", self.heap_pops - pops_before)
+        registry.inc("kernel.gain_updates", self.gain_updates - updates_before)
+        return met
 
     # -- inspection -----------------------------------------------------------
 

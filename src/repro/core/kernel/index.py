@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.abstraction_tree import AbstractionForest
+from repro.obs.tracer import trace
 from repro.provenance.incidence import provenance_incidence
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.valuation import FingerprintCache
@@ -109,7 +110,7 @@ def forest_signature(forest: AbstractionForest) -> str:
     return repr(forest.to_dict())
 
 
-_INDEX_CACHE = FingerprintCache(capacity=8)
+_INDEX_CACHE = FingerprintCache(capacity=8, metrics="kernel.incidence_cache")
 
 
 def incidence_index(
@@ -117,9 +118,12 @@ def incidence_index(
 ) -> MonomialIncidenceIndex:
     """The (cached) incidence index of ``provenance`` w.r.t. ``forest``."""
     key = (provenance.fingerprint(), forest_signature(forest))
-    return _INDEX_CACHE.get_or_build(
-        key, lambda: MonomialIncidenceIndex(provenance, forest)
-    )
+
+    def build() -> MonomialIncidenceIndex:
+        with trace("incidence.index", monomials=provenance.size()):
+            return MonomialIncidenceIndex(provenance, forest)
+
+    return _INDEX_CACHE.get_or_build(key, build)
 
 
 def clear_incidence_cache() -> None:

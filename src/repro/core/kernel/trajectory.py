@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import InfeasibleBoundError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace
 from repro.provenance.polynomial import ProvenanceSet
 from repro.core.abstraction_tree import (
     AbstractionForest,
@@ -56,15 +58,40 @@ class GreedyTrajectory:
         return len(self._steps)
 
     def extend_to(self, bound: int) -> None:
-        """Materialise steps until the running size fits ``bound`` (or done)."""
-        while self._sizes[-1] > bound and not self._exhausted:
-            name = self._kernel.best()
-            if name is None:
-                self._exhausted = True
-                break
-            step = self._kernel.apply(name)
-            self._steps.append(step)
-            self._sizes.append(self._kernel.current_size)
+        """Materialise steps until the running size fits ``bound`` (or done).
+
+        Each extension that actually coarsens is one traced
+        ``kernel.coarsen`` span; the kernel's heap-pop/gain-update work is
+        flushed to the ``kernel.*`` registry counters.
+        """
+        kernel = self._kernel
+        if kernel is not None and self._sizes[-1] > bound and not self._exhausted:
+            pops_before = kernel.heap_pops
+            updates_before = kernel.gain_updates
+            steps_before = len(self._steps)
+            with trace(
+                "kernel.coarsen", bound=bound, size_before=self._sizes[-1]
+            ) as span:
+                while self._sizes[-1] > bound and not self._exhausted:
+                    name = kernel.best()
+                    if name is None:
+                        self._exhausted = True
+                        break
+                    step = kernel.apply(name)
+                    self._steps.append(step)
+                    self._sizes.append(kernel.current_size)
+                span.update(
+                    {
+                        "steps": len(self._steps) - steps_before,
+                        "size_after": self._sizes[-1],
+                    }
+                )
+            registry = get_registry()
+            registry.inc("kernel.steps", len(self._steps) - steps_before)
+            registry.inc("kernel.heap_pops", kernel.heap_pops - pops_before)
+            registry.inc(
+                "kernel.gain_updates", kernel.gain_updates - updates_before
+            )
         if self._exhausted and self._kernel is not None:
             # Fully coarsened: every further bound query is answered from
             # the recorded steps/sizes, so release the kernel's row store

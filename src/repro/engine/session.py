@@ -34,6 +34,7 @@ from repro.core.multi_tree import optimize_forest
 from repro.core.optimizer import OptimizationResult
 from repro.engine.report import AssignmentReport, GroupComparison, MetaVariableInfo
 from repro.engine.scenario import Scenario
+from repro.obs.tracer import trace as obs_trace
 from repro.utils.timing import measure_speedup
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle: repro.batch imports engine
@@ -173,24 +174,25 @@ class CobraSession:
             raise SessionStateError("call set_abstraction_trees() before compress()")
         if self._bound is None:
             raise SessionStateError("call set_bound() before compress()")
-        if method in ("incremental", "legacy"):
-            self._optimization = self.compressor().compress(
-                self._provenance,
-                self._trees,
-                self._bound,
-                strategy=method,
-                allow_infeasible=allow_infeasible,
-                keep_trace=keep_trace,
-            )
-        else:
-            self._optimization = optimize_forest(
-                self._provenance,
-                self._trees,
-                self._bound,
-                method=method,
-                allow_infeasible=allow_infeasible,
-                keep_trace=keep_trace,
-            )
+        with obs_trace("session.compress", method=method, bound=self._bound):
+            if method in ("incremental", "legacy"):
+                self._optimization = self.compressor().compress(
+                    self._provenance,
+                    self._trees,
+                    self._bound,
+                    strategy=method,
+                    allow_infeasible=allow_infeasible,
+                    keep_trace=keep_trace,
+                )
+            else:
+                self._optimization = optimize_forest(
+                    self._provenance,
+                    self._trees,
+                    self._bound,
+                    method=method,
+                    allow_infeasible=allow_infeasible,
+                    keep_trace=keep_trace,
+                )
         self._compiled_compressed = None
         return self._optimization
 
@@ -288,11 +290,13 @@ class CobraSession:
         # real backend (unchanged fast path), a numpy semiring kernel or the
         # generic fallback otherwise — all sharing the same surface.
         if self._compiled_full is None:
-            self._compiled_full = self._backend.compile(self._provenance)
+            with obs_trace("session.compile", which="full"):
+                self._compiled_full = self._backend.compile(self._provenance)
         if self._compiled_compressed is None:
-            self._compiled_compressed = self._backend.compile(
-                self.compressed_provenance
-            )
+            with obs_trace("session.compile", which="compressed"):
+                self._compiled_compressed = self._backend.compile(
+                    self.compressed_provenance
+                )
         return self._compiled_full, self._compiled_compressed
 
     def assign(
@@ -319,6 +323,21 @@ class CobraSession:
             Also time the two evaluations (via the compiled evaluators) and
             report the speedup, as the demo does.
         """
+        with obs_trace("session.assign"):
+            return self._assign(
+                meta_changes,
+                full_valuation,
+                measure_assignment_speedup,
+                speedup_repeats,
+            )
+
+    def _assign(
+        self,
+        meta_changes: Optional[Mapping[str, float]],
+        full_valuation: Optional[Mapping[str, float]],
+        measure_assignment_speedup: bool,
+        speedup_repeats: int,
+    ) -> AssignmentReport:
         full_value_map = (
             Valuation(dict(full_valuation), semiring=self._backend)
             if full_valuation is not None
@@ -476,16 +495,21 @@ class CobraSession:
             compressed = self.compressed_provenance
             abstraction = self.abstraction
 
-        return evaluator.evaluate(
-            self._provenance,
-            scenarios,
-            base_valuation=self._base_valuation,
-            compressed=compressed,
-            abstraction=abstraction,
-            semiring=self._backend,
-            mode=mode,
-            processes=processes,
-        )
+        with obs_trace(
+            "session.evaluate_many",
+            scenarios=len(scenarios),
+            compressed=compressed is not None,
+        ):
+            return evaluator.evaluate(
+                self._provenance,
+                scenarios,
+                base_valuation=self._base_valuation,
+                compressed=compressed,
+                abstraction=abstraction,
+                semiring=self._backend,
+                mode=mode,
+                processes=processes,
+            )
 
     def compare_scenarios(
         self,

@@ -1,0 +1,67 @@
+"""Runtime observability: span tracing, metrics registry, trace rendering.
+
+``repro.obs`` is the zero-dependency instrumentation layer threaded through
+the evaluation pipeline.  The three pieces:
+
+* :mod:`repro.obs.tracer` — ``with trace("batch.evaluate", scenarios=N):``
+  span trees with wall/CPU time and attributes, free when disabled;
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry` of
+  counters/gauges/histograms that unifies the engine's cache statistics;
+* :mod:`repro.obs.render` — span-tree rendering, per-stage aggregation,
+  and the ``--trace-json`` file format.
+
+Enable tracing with ``COBRA_TRACE=1`` in the environment, the ``--trace``
+/ ``--trace-json`` CLI flags, or :func:`enable_tracing` from code.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.render import (
+    TRACE_FORMAT_VERSION,
+    aggregate_stages,
+    load_trace,
+    render_span_tree,
+    render_stage_table,
+    trace_to_dict,
+    write_trace,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "trace",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "current_span",
+    "get_tracer",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "render_span_tree",
+    "render_stage_table",
+    "aggregate_stages",
+    "trace_to_dict",
+    "write_trace",
+    "load_trace",
+    "TRACE_FORMAT_VERSION",
+]

@@ -1,0 +1,177 @@
+"""Rendering and aggregating trace trees: the human side of the tracer.
+
+Three consumers share this module:
+
+* the CLI's ``--trace`` flag prints :func:`render_span_tree` — the nested
+  span tree with durations, CPU time and attributes;
+* ``--trace-json`` dumps :func:`trace_to_dict` (spans + a metrics snapshot)
+  and ``cobra stats --runtime`` reads it back (:func:`load_trace`) and
+  prints the :func:`aggregate_stages` per-stage table;
+* ``benchmarks/generate_report.py`` folds :func:`aggregate_stages` output
+  into the committed BENCH baselines so the perf trajectory records *where*
+  the time went, not just how much there was.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.tracer import Span
+
+#: Format version of the ``--trace-json`` file.
+TRACE_FORMAT_VERSION = 1
+
+SpanLike = Union[Span, Mapping[str, Any]]
+
+
+def _as_span(span: SpanLike) -> Span:
+    return span if isinstance(span, Span) else Span.from_dict(span)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _format_attributes(attributes: Mapping[str, Any], limit: int = 100) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key, value in attributes.items():
+        if isinstance(value, float):
+            rendered = f"{value:.4g}"
+        elif isinstance(value, (dict, list, tuple)):
+            rendered = f"<{type(value).__name__}:{len(value)}>"
+        else:
+            rendered = str(value)
+        parts.append(f"{key}={rendered}")
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def render_span_tree(
+    spans: Union[SpanLike, Sequence[SpanLike]], max_depth: Optional[int] = None
+) -> str:
+    """The span tree(s) as an indented text block with durations.
+
+    ``spans`` may be one span (live or dict) or a sequence of roots.
+    """
+    if isinstance(spans, (Span, Mapping)):
+        spans = [spans]
+    lines: List[str] = []
+
+    def visit(span: Span, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if not prefix and depth == 0 else ("└─ " if is_last else "├─ ")
+        cpu = f" cpu={_format_seconds(span.cpu_time).strip()}" if span.cpu_time is not None else ""
+        attrs = _format_attributes(span.attributes)
+        lines.append(
+            f"{_format_seconds(span.duration)}  {prefix}{connector}{span.name}"
+            + (f"  [{attrs}]" if attrs else "")
+            + cpu
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        child_prefix = prefix + ("" if depth == 0 and not prefix else ("   " if is_last else "│  "))
+        for i, child in enumerate(span.children):
+            visit(child, child_prefix, i == len(span.children) - 1, depth + 1)
+
+    for root in spans:
+        visit(_as_span(root), "", True, 0)
+    return "\n".join(lines)
+
+
+def aggregate_stages(
+    spans: Union[SpanLike, Sequence[SpanLike]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage totals over trace tree(s): name → count/total/self seconds.
+
+    ``total_seconds`` sums each span's inclusive duration; ``self_seconds``
+    subtracts the time attributed to its children, so stages that are pure
+    containers show up thin and the true hot stages show up fat.
+    """
+    if isinstance(spans, (Span, Mapping)):
+        spans = [spans]
+    stages: Dict[str, Dict[str, float]] = {}
+
+    def visit(span: Span) -> None:
+        entry = stages.setdefault(
+            span.name, {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += span.duration
+        entry["self_seconds"] += max(
+            0.0, span.duration - sum(child.duration for child in span.children)
+        )
+        for child in span.children:
+            visit(child)
+
+    for root in spans:
+        visit(_as_span(root))
+    return stages
+
+
+def render_stage_table(
+    stages: Mapping[str, Mapping[str, float]], total: Optional[float] = None
+) -> str:
+    """The ``cobra stats --runtime`` table: one row per stage, hottest first."""
+    if total is None:
+        total = sum(entry["self_seconds"] for entry in stages.values()) or 1.0
+    lines = [
+        f"{'stage':<34} {'count':>6} {'total':>11} {'self':>11} {'self %':>7}",
+        "-" * 74,
+    ]
+    ordered = sorted(
+        stages.items(), key=lambda item: item[1]["self_seconds"], reverse=True
+    )
+    for name, entry in ordered:
+        lines.append(
+            f"{name:<34} {int(entry['count']):>6} "
+            f"{_format_seconds(entry['total_seconds'])} "
+            f"{_format_seconds(entry['self_seconds'])} "
+            f"{entry['self_seconds'] / total:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def trace_to_dict(
+    spans: Iterable[SpanLike], metrics: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The ``--trace-json`` document: versioned spans + a metrics snapshot."""
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "spans": [
+            span.to_dict() if isinstance(span, Span) else dict(span)
+            for span in spans
+        ],
+        "metrics": dict(metrics) if metrics is not None else {},
+    }
+
+
+def write_trace(
+    path: Union[str, Path],
+    spans: Iterable[SpanLike],
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Serialise a trace document to ``path`` (JSON, indent 2)."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(spans, metrics), indent=2))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a ``--trace-json`` document back (validating the version)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "spans" not in data:
+        raise ValueError(f"{path}: not a trace document (no 'spans' key)")
+    version = data.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    return data

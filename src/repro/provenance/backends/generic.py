@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import MissingValuationError
+from repro.obs.tracer import trace
 from repro.provenance.backends.base import CompiledSemiringSet, SemiringBackend
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.semiring import (
@@ -93,7 +94,10 @@ class GenericBackend(SemiringBackend):
         return value
 
     def compile(self, provenance: ProvenanceSet) -> CompiledGenericSet:
-        return CompiledGenericSet(provenance, self._semiring, self.embed_coefficient)
+        with trace("backend.compile", backend=self.name, monomials=provenance.size()):
+            return CompiledGenericSet(
+                provenance, self._semiring, self.embed_coefficient
+            )
 
     def error(self, full: Any, compressed: Any) -> float:
         return 0.0 if full == compressed else 1.0

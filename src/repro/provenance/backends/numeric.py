@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import MissingValuationError
+from repro.obs.tracer import trace
 from repro.provenance.backends.base import (
     CompiledSemiringSet,
     SemiringBackend,
@@ -474,7 +475,8 @@ class RealBackend(NumericBackend):
     def compile(self, provenance: ProvenanceSet):
         from repro.provenance.valuation import CompiledProvenanceSet
 
-        return CompiledProvenanceSet(provenance)
+        with trace("backend.compile", backend=self.name, monomials=provenance.size()):
+            return CompiledProvenanceSet(provenance)
 
 
 class TropicalBackend(NumericBackend):
@@ -500,7 +502,8 @@ class TropicalBackend(NumericBackend):
         return 0.0
 
     def compile(self, provenance: ProvenanceSet) -> _CompiledTropicalSet:
-        return _CompiledTropicalSet(provenance)
+        with trace("backend.compile", backend=self.name, monomials=provenance.size()):
+            return _CompiledTropicalSet(provenance)
 
     def magnitude(self, value: Any) -> float:
         value = float(value)
@@ -542,7 +545,8 @@ class BooleanBackend(NumericBackend):
         return coefficient != 0
 
     def compile(self, provenance: ProvenanceSet) -> _CompiledBooleanSet:
-        return _CompiledBooleanSet(provenance)
+        with trace("backend.compile", backend=self.name, monomials=provenance.size()):
+            return _CompiledBooleanSet(provenance)
 
     def reduce_members(self, values: Sequence[Any]) -> float:
         # The mean of 0/1 values is non-zero iff any member survives, so the

@@ -188,7 +188,9 @@ def _incidence_cache():
 
     global _INCIDENCE_CACHE
     if _INCIDENCE_CACHE is None:
-        _INCIDENCE_CACHE = FingerprintCache(capacity=8)
+        _INCIDENCE_CACHE = FingerprintCache(
+            capacity=8, metrics="incidence_cache"
+        )
     return _INCIDENCE_CACHE
 
 
@@ -197,9 +199,13 @@ _INCIDENCE_CACHE = None
 
 def provenance_incidence(provenance: ProvenanceSet) -> ProvenanceIncidence:
     """The (fingerprint-cached) name-keyed incidence of ``provenance``."""
-    return _incidence_cache().get_or_build(
-        provenance.fingerprint(), lambda: ProvenanceIncidence(provenance)
-    )
+    from repro.obs.tracer import trace
+
+    def build() -> ProvenanceIncidence:
+        with trace("incidence.build", monomials=provenance.size()):
+            return ProvenanceIncidence(provenance)
+
+    return _incidence_cache().get_or_build(provenance.fingerprint(), build)
 
 
 def clear_provenance_incidence_cache() -> None:

@@ -33,6 +33,7 @@ from typing import (
 import numpy as np
 
 from repro.exceptions import MissingValuationError
+from repro.obs.tracer import trace
 from repro.provenance.incidence import (
     VariableIncidence,
     expand_segment_rows,
@@ -74,17 +75,41 @@ class FingerprintCache:
     :meth:`~repro.provenance.polynomial.ProvenanceSet.fingerprint` (possibly
     combined with extra structure such as a forest signature); this class
     centralises the LRU + hit/miss bookkeeping they share.
+
+    ``metrics=`` names a prefix under which the cache additionally reports
+    hits/misses into the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry` (as ``{prefix}.hits`` /
+    ``{prefix}.misses``), so every cache in the engine shows up in one
+    ``snapshot()``.  The per-instance counters behind :meth:`info` are kept
+    independently — they are this cache's lifetime view, while the registry
+    ones obey the registry's reset/scope lifecycle.
     """
 
-    __slots__ = ("_capacity", "_entries", "_hits", "_misses")
+    __slots__ = (
+        "_capacity",
+        "_entries",
+        "_hits",
+        "_misses",
+        "_metric_hits",
+        "_metric_misses",
+    )
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, metrics: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        if metrics is None:
+            self._metric_hits = None
+            self._metric_misses = None
+        else:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+            self._metric_hits = registry.counter(f"{metrics}.hits")
+            self._metric_misses = registry.counter(f"{metrics}.misses")
 
     def get(self, key: Hashable, default: object = None) -> Optional[object]:
         """The cached value under ``key`` (marking it most-recently used).
@@ -96,9 +121,13 @@ class FingerprintCache:
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self._misses += 1
+            if self._metric_misses is not None:
+                self._metric_misses.inc()
             return default
         self._entries.move_to_end(key)
         self._hits += 1
+        if self._metric_hits is not None:
+            self._metric_hits.inc()
         return value
 
     def put(self, key: Hashable, value: object) -> None:
@@ -129,6 +158,15 @@ class FingerprintCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero this cache's lifetime hit/miss counters (entries are kept).
+
+        Registry-side counters are untouched — scope or reset those through
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        self._hits = 0
+        self._misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -632,19 +670,24 @@ class CompiledProvenanceSet:
         is equivalent), so cached compiled sets stay safe to share.
         """
         if self._delta_index is None:
-            self._delta_index = tuple(
-                (
-                    VariableIncidence.from_factor_arrays(
-                        len(self._variables), group.indices, group.exponents
-                    ),
-                    expand_segment_rows(
-                        group.segment_starts,
-                        group.segment_rows,
-                        len(group.coefficients),
-                    ),
+            with trace(
+                "incidence.delta_index",
+                groups=len(self._groups),
+                variables=len(self._variables),
+            ):
+                self._delta_index = tuple(
+                    (
+                        VariableIncidence.from_factor_arrays(
+                            len(self._variables), group.indices, group.exponents
+                        ),
+                        expand_segment_rows(
+                            group.segment_starts,
+                            group.segment_rows,
+                            len(group.coefficients),
+                        ),
+                    )
+                    for group in self._groups
                 )
-                for group in self._groups
-            )
         return self._delta_index
 
     def _delta_state(self, base_vector: np.ndarray):

@@ -1,0 +1,158 @@
+"""Property tests: tracing never changes evaluation results.
+
+The observability layer must be a pure observer — running the exact same
+batch evaluation with the tracer on and off has to produce bit-identical
+results for the numeric backends (the float pipeline's arrays compare as
+raw bytes) and equal results for the set-valued ones, in every evaluation
+mode.  Generators mirror ``test_sparse_delta_parity``: scenario programs
+include ``set 0`` / ``scale 0`` and bases with zeros so the instrumented
+sparse kernels run their fallback paths too.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchEvaluator
+from repro.engine.scenario import Scenario
+from repro.obs import disable_tracing, enable_tracing, get_tracer
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.valuation import Valuation
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def polynomials(draw, max_terms=5):
+    terms = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+        exponents = draw(
+            st.dictionaries(
+                st.sampled_from(VARIABLE_NAMES),
+                st.integers(min_value=1, max_value=3),
+                max_size=3,
+            )
+        )
+        coefficient = draw(
+            st.floats(min_value=-20, max_value=20, allow_nan=False, allow_infinity=False)
+        )
+        monomial = Monomial(exponents)
+        terms[monomial] = terms.get(monomial, 0.0) + coefficient
+    return Polynomial(terms)
+
+
+@st.composite
+def provenance_sets(draw, max_groups=3):
+    result = ProvenanceSet()
+    for index in range(draw(st.integers(min_value=1, max_value=max_groups))):
+        result[(f"g{index}",)] = draw(polynomials())
+    return result
+
+
+@st.composite
+def scenarios(draw, max_operations=3):
+    scenario = Scenario(f"s{draw(st.integers(min_value=0, max_value=10**6))}")
+    for _ in range(draw(st.integers(min_value=0, max_value=max_operations))):
+        selector = draw(
+            st.one_of(
+                st.sampled_from(VARIABLE_NAMES),
+                st.lists(st.sampled_from(VARIABLE_NAMES), max_size=2),
+            )
+        )
+        amount = draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            )
+        )
+        if draw(st.booleans()):
+            scenario = scenario.scale(selector, amount)
+        else:
+            scenario = scenario.set_value(selector, amount)
+    return scenario
+
+
+@st.composite
+def base_valuations(draw):
+    return Valuation(
+        {
+            name: draw(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+                )
+            )
+            for name in draw(
+                st.lists(st.sampled_from(VARIABLE_NAMES), unique=True)
+            )
+        }
+    )
+
+
+def _traced_and_untraced(provenance, scenario_list, base, semiring, mode):
+    """The same evaluation twice: tracing off, then tracing on."""
+
+    def run():
+        return BatchEvaluator().evaluate(
+            provenance,
+            scenario_list,
+            base_valuation=base,
+            semiring=semiring,
+            mode=mode,
+        )
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    disable_tracing()
+    try:
+        untraced = run()
+    finally:
+        tracer.enabled = was_enabled
+    enable_tracing()
+    try:
+        traced = run()
+    finally:
+        tracer.reset()
+        tracer.enabled = was_enabled
+    return untraced, traced
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    provenance=provenance_sets(),
+    scenario_list=st.lists(scenarios(), min_size=1, max_size=4),
+    base=base_valuations(),
+)
+@pytest.mark.parametrize("semiring", ["real", "tropical", "bool"])
+@pytest.mark.parametrize("mode", ["dense", "sparse"])
+def test_tracing_is_invisible_to_numeric_backends(
+    mode, semiring, provenance, scenario_list, base
+):
+    untraced, traced = _traced_and_untraced(
+        provenance, scenario_list, base, semiring, mode
+    )
+    assert traced.mode == untraced.mode
+    assert np.asarray(traced.baseline).tobytes() == np.asarray(
+        untraced.baseline
+    ).tobytes()
+    assert np.asarray(traced.full_results).tobytes() == np.asarray(
+        untraced.full_results
+    ).tobytes()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    provenance=provenance_sets(max_groups=2),
+    scenario_list=st.lists(scenarios(max_operations=2), min_size=1, max_size=3),
+)
+@pytest.mark.parametrize("semiring", ["why", "lineage"])
+def test_tracing_is_invisible_to_set_valued_backends(
+    semiring, provenance, scenario_list
+):
+    untraced, traced = _traced_and_untraced(
+        provenance, scenario_list, None, semiring, "auto"
+    )
+    assert traced.mode == untraced.mode == "generic"
+    assert np.array_equal(traced.full_results, untraced.full_results)

@@ -216,3 +216,60 @@ class TestWhatifCommand:
     def test_real_runs(self, capsys):
         assert main(["whatif", "--semiring", "real", "--scenarios", "3"]) == 0
         assert "real semiring" in capsys.readouterr().out
+
+
+class TestTraceFlags:
+    BATCH_ARGS = [
+        "batch",
+        "--scenarios", "8",
+        "--customers", "200",
+        "--zips", "4",
+        "--months", "6",
+    ]
+
+    def test_trace_prints_the_span_tree(self, capsys):
+        assert main(["demo", "--bound", "4", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "== trace ==" in output
+        assert "session.compress" in output
+
+    def test_trace_json_covers_the_pipeline_stages(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        args = self.BATCH_ARGS + ["--bound", "100", "--trace-json", str(trace_path)]
+        assert main(args) == 0
+        assert "trace written to" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text())
+        assert document["version"] == 1
+        names = set()
+
+        def walk(span):
+            names.add(span["name"])
+            for child in span.get("children", []):
+                walk(child)
+
+        for span in document["spans"]:
+            walk(span)
+        for required in ("batch.evaluate", "batch.compile", "batch.lower", "batch.reduce"):
+            assert required in names
+        assert any(name.startswith("batch.kernel.") for name in names)
+        assert document["metrics"]["counters"]["batch.evaluations"] >= 1
+
+    def test_tracing_is_off_again_after_a_traced_run(self):
+        from repro.obs import tracing_enabled
+
+        assert main(["demo", "--bound", "4", "--trace"]) == 0
+        assert not tracing_enabled()
+
+    def test_stats_runtime_profiles_a_dumped_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(self.BATCH_ARGS + ["--trace-json", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--runtime", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "runtime stage profile" in output
+        assert "batch.evaluate" in output
+        assert "batch.evaluations" in output  # counters section
+
+    def test_stats_requires_input_or_runtime(self, capsys):
+        assert main(["stats"]) == 1
+        assert "--runtime" in capsys.readouterr().out

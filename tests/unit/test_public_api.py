@@ -31,6 +31,7 @@ class TestPublicApi:
             "repro.workloads",
             "repro.cli",
             "repro.utils",
+            "repro.obs",
         ],
     )
     def test_subpackages_import_cleanly(self, module):
