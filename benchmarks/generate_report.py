@@ -211,6 +211,13 @@ def report_batch(json_path: str, quick: bool = False) -> None:
         f"({record['scenarios']} scenarios x {record['monomials']} monomials, "
         f"{record['touched_fraction']:.1%} of variables touched)"
     )
+    print(
+        f"\ncompiled store: {record['store_bytes'] / 1e6:.2f} MB; cold open "
+        f"{record['store_open_seconds'] * 1e3:.2f} ms vs recompile "
+        f"{record['recompile_seconds'] * 1e3:.1f} ms "
+        f"({record['store_cold_start_speedup']:.1f}x); store-backed sharding "
+        f"{record['store_shard_speedup']:.2f}x vs per-call pools"
+    )
     stages = record.get("stages", {})
     if stages:
         print("\nper-stage breakdown (one traced auto-mode pass):")

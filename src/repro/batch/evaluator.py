@@ -27,6 +27,12 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+try:
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover — platforms without multiprocessing
+    class BrokenProcessPool(Exception):
+        pass
+
 import numpy as np
 
 from repro.core.compression import Abstraction, Compressor
@@ -125,43 +131,55 @@ def _sparse_shard_worker(plans):
     )
 
 
-def _process_map(processes, compiled, base_vector, worker, pieces):
-    """Map ``worker`` over ``pieces`` on a process pool, serially on fallback.
+def _pool_probe() -> bool:
+    """The trivial task :func:`_bringup_pool` uses to force worker bringup."""
+    return True
+
+
+def _bringup_pool(processes, initializer=None, initargs=()):
+    """A live ``ProcessPoolExecutor`` of ``processes`` workers, or ``None``.
 
     Process pools need working ``fork``/semaphores; sandboxes and exotic
-    platforms may refuse them, in which case the shards are evaluated
-    serially in-process — same results, no parallelism.
-
-    With tracing enabled, pool workers record their own span subtrees and
-    metric deltas (see :func:`_obs_shard`) and the parent merges them here,
-    stamping each grafted root with its shard index; the serial fallback
-    records plain nested ``batch.shard`` spans instead — it already runs
-    inside the parent's live trace, so nothing needs shipping.
+    platforms may refuse them.  Workers are spawned lazily by the executor,
+    so bringup failures can surface either at construction or at first
+    submit — both are probed here, with a task that cannot itself raise.
+    A ``None`` return means "this platform has no pool"; any exception a
+    *later* task raises is therefore a genuine worker exception and must
+    propagate, never be mistaken for missing fork support.
     """
-    obs = tracing_enabled()
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(
-            max_workers=processes,
-            initializer=_init_shard_worker,
-            initargs=(compiled, base_vector, obs),
-        ) as pool:
-            raw = list(pool.map(worker, pieces))
-    except (ImportError, OSError, PermissionError, RuntimeError):
-        _init_shard_worker(compiled, base_vector, False)
-        try:
-            results = []
-            for i, piece in enumerate(pieces):
-                with trace("batch.shard", shard=i, fallback="serial"):
-                    results.append(worker(piece))
-            return results
-        finally:
-            # The fallback runs in-process: drop the references so a large
-            # compiled set is not pinned for the life of the service.
-            _SHARD_STATE.clear()
-    if not obs:
-        return raw
+        pool = ProcessPoolExecutor(
+            max_workers=processes, initializer=initializer, initargs=initargs
+        )
+    except (ImportError, OSError, PermissionError):
+        return None
+    try:
+        pool.submit(_pool_probe).result()
+    except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
+        pool.shutdown(wait=False, cancel_futures=True)
+        return None
+    return pool
+
+
+def _serial_fallback(compiled, base_vector, worker, pieces):
+    """Evaluate the shards serially in-process — same results, no parallelism."""
+    _init_shard_worker(compiled, base_vector, False)
+    try:
+        results = []
+        for i, piece in enumerate(pieces):
+            with trace("batch.shard", shard=i, fallback="serial"):
+                results.append(worker(piece))
+        return results
+    finally:
+        # The fallback runs in-process: drop the references so a large
+        # compiled set is not pinned for the life of the service.
+        _SHARD_STATE.clear()
+
+
+def _merge_obs(raw):
+    """Graft worker-shipped span subtrees and metric deltas into this process."""
     tracer = get_tracer()
     registry = get_registry()
     results = []
@@ -172,11 +190,117 @@ def _process_map(processes, compiled, base_vector, worker, pieces):
     return results
 
 
+def _process_map(processes, compiled, base_vector, worker, pieces):
+    """Map ``worker`` over ``pieces`` on a process pool, serially on fallback.
+
+    The fallback triggers only on pool *bringup* failure (no executor, no
+    fork support — see :func:`_bringup_pool`) or on a pool broken by worker
+    death; an exception raised by the shard kernels themselves propagates to
+    the caller instead of being silently recomputed serially.
+
+    With tracing enabled, pool workers record their own span subtrees and
+    metric deltas (see :func:`_obs_shard`) and the parent merges them here,
+    stamping each grafted root with its shard index; the serial fallback
+    records plain nested ``batch.shard`` spans instead — it already runs
+    inside the parent's live trace, so nothing needs shipping.
+    """
+    obs = tracing_enabled()
+    pool = _bringup_pool(
+        processes,
+        initializer=_init_shard_worker,
+        initargs=(compiled, base_vector, obs),
+    )
+    if pool is None:
+        return _serial_fallback(compiled, base_vector, worker, pieces)
+    try:
+        with pool:
+            raw = list(pool.map(worker, pieces))
+    except BrokenProcessPool:
+        # Workers died without raising (crash, OOM kill): the shards are
+        # still computable, just not in parallel.
+        return _serial_fallback(compiled, base_vector, worker, pieces)
+    if not obs:
+        return raw
+    return _merge_obs(raw)
+
+
+def _store_shard_task(task):
+    """One task of the persistent store-backed pool: open + evaluate a shard.
+
+    ``task`` is ``(store_path, kind, base_vector, obs, piece)`` — the pool is
+    generic (no initializer), so each task names its compiled store.  The
+    per-process store cache (:func:`repro.provenance.store.open_store`) makes
+    repeated opens O(header), and every worker mapping the same file shares
+    one page-cache copy of the arrays.
+    """
+    path, kind, base_vector, obs, piece = task
+    # Persistent workers serve many calls: start each task with a clean
+    # tracer so reused workers never accumulate undrained spans, and only
+    # record when the parent is tracing this call.
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enabled = bool(obs)
+    from repro.provenance.store import open_store
+
+    compiled = open_store(path)
+    if kind == "dense":
+        rows = int(piece.shape[0])
+        func = lambda: compiled.evaluate_matrix(piece)  # noqa: E731
+    else:
+        rows = len(piece)
+        func = lambda: compiled.evaluate_deltas(base_vector, piece)  # noqa: E731
+    if not obs:
+        return func()
+    return _obs_shard(func, kind=kind, rows=rows, store=True)
+
+
+class _StoreShardPool:
+    """A persistent, store-generic worker pool owned by one evaluator.
+
+    Store-backed sharding ships a *path* per task instead of pickling the
+    compiled set into per-call pool initargs, which is what lets the pool
+    outlive individual calls — amortising bringup/teardown across a sweep of
+    calls is where the store's sharding win comes from on warm services.
+    """
+
+    __slots__ = ("pool", "processes")
+
+    def __init__(self, pool, processes: int) -> None:
+        self.pool = pool
+        self.processes = processes
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+    def __del__(self):  # pragma: no cover — best-effort cleanup
+        self.close()
+
+
 def _resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
+    """The effective dense-chunk memory budget, or ``None`` for the default.
+
+    An explicit argument wins; otherwise the ``COBRA_BATCH_MAX_BYTES``
+    environment variable is consulted, and a malformed or non-positive value
+    there raises a :class:`ValueError` naming the variable and the value —
+    not a bare ``int()`` traceback deep inside evaluation.
+    """
     if max_bytes is not None:
         return int(max_bytes)
     env = os.environ.get(MAX_BYTES_ENV)
-    return int(env) if env else None
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{MAX_BYTES_ENV} must be an integer number of bytes, "
+            f"got {env!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{MAX_BYTES_ENV} must be >= 1, got {env!r}")
+    return value
 
 
 def lower_meta_matrix(
@@ -345,6 +469,7 @@ class BatchEvaluator:
         self._processes = processes
         self._compiled = FingerprintCache(cache_size, metrics="batch.compile_cache")
         self._compressor = compressor
+        self._store_pool: Optional[_StoreShardPool] = None
 
     # -- compiled-provenance cache -------------------------------------------
 
@@ -384,6 +509,78 @@ class BatchEvaluator:
     def clear_cache(self) -> None:
         """Drop every cached compilation (counters are kept)."""
         self._compiled.clear()
+
+    # -- compiled stores -------------------------------------------------------
+
+    def adopt_store(self, path):
+        """Open the compiled store at ``path`` and seed the compile cache.
+
+        Subsequent :meth:`evaluate` calls over provenance with the store's
+        fingerprint (and backend) reuse the mapped arrays instead of
+        recompiling, and ``processes=N`` sharding ships the store *path* to a
+        persistent worker pool instead of pickling the compiled set per call.
+        Returns the mapped compiled set.
+        """
+        from repro.provenance.store import open_store
+
+        compiled = open_store(path)
+        self._compiled.put(
+            (compiled.source_fingerprint, compiled.backend_name), compiled
+        )
+        return compiled
+
+    def close(self) -> None:
+        """Shut down the persistent store-shard worker pool (if one is live).
+
+        Safe to call repeatedly; the evaluator stays usable (a later
+        store-backed sharded call simply brings a fresh pool up).
+        """
+        if self._store_pool is not None:
+            self._store_pool.close()
+            self._store_pool = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
+
+    def _store_pool_for(self, processes: int) -> Optional[_StoreShardPool]:
+        """The persistent store-shard pool, (re)built at ``processes`` width."""
+        if self._store_pool is not None and self._store_pool.processes != processes:
+            self.close()
+        if self._store_pool is None:
+            pool = _bringup_pool(processes)
+            if pool is None:
+                return None
+            self._store_pool = _StoreShardPool(pool, processes)
+        return self._store_pool
+
+    def _shard_map(self, processes, compiled, base_vector, worker, kind, pieces):
+        """Dispatch shards to the right pool flavour.
+
+        Store-backed compiled sets take the evaluator's persistent pool with
+        path-per-task shipping; in-memory ones take the per-call pool that
+        pickles the compiled set into worker initargs.  Either way a broken
+        pool degrades to the serial fallback and worker exceptions propagate.
+        """
+        store_path = getattr(compiled, "store_path", None)
+        if store_path is None:
+            return _process_map(processes, compiled, base_vector, worker, pieces)
+        obs = tracing_enabled()
+        shard_pool = self._store_pool_for(processes)
+        if shard_pool is None:
+            return _serial_fallback(compiled, base_vector, worker, pieces)
+        tasks = [(store_path, kind, base_vector, obs, piece) for piece in pieces]
+        try:
+            raw = list(shard_pool.pool.map(_store_shard_task, tasks))
+        except BrokenProcessPool:
+            self.close()
+            return _serial_fallback(compiled, base_vector, worker, pieces)
+        if not obs:
+            return raw
+        return _merge_obs(raw)
 
     # -- compression ----------------------------------------------------------
 
@@ -432,8 +629,8 @@ class BatchEvaluator:
             span.set("chunks", len(pieces))
             if processes and processes > 1 and len(pieces) > 1:
                 span.set("processes", processes)
-                results = _process_map(
-                    processes, compiled, None, _dense_shard_worker, pieces
+                results = self._shard_map(
+                    processes, compiled, None, _dense_shard_worker, "dense", pieces
                 )
             elif (
                 self._max_workers is not None
@@ -470,8 +667,9 @@ class BatchEvaluator:
             if len(pieces) == 1:
                 return compiled.evaluate_deltas(base_vector, plans)
             span.update({"processes": processes, "shards": len(pieces)})
-            results = _process_map(
-                processes, compiled, base_vector, _sparse_shard_worker, pieces
+            results = self._shard_map(
+                processes, compiled, base_vector, _sparse_shard_worker, "sparse",
+                pieces,
             )
             return np.concatenate(results, axis=0)
 

@@ -15,7 +15,10 @@ back-end workflow (Figure 4) from the terminal:
   per-scenario path;
 * ``cobra tpch`` — run the reproduced TPC-H queries and compress each one;
 * ``cobra compress`` — the generic entry point: read provenance (JSON) and a
-  tree (JSON) from disk, compress under a bound and write the result.
+  tree (JSON) from disk, compress under a bound and write the result;
+* ``cobra compile`` — compile provenance once and persist the compiled form
+  as a zero-copy mmap-able store file that ``cobra batch --store`` (and any
+  other process) opens in O(header) time.
 
 Every subcommand prints the numbers the demo shows its audience: provenance
 size before/after, the chosen cut, number of variables, assignment speedup
@@ -208,9 +211,26 @@ def run_batch(args: argparse.Namespace) -> int:
             f"Compressed under bound {args.bound}: "
             f"{session.compressed_provenance.size()} monomials"
         )
-    _print()
 
     evaluator = BatchEvaluator(max_workers=args.workers)
+    if getattr(args, "store", None):
+        from repro.exceptions import SerializationError, SessionStateError
+
+        try:
+            # The session validates backend + fingerprint; the explicit
+            # evaluator then adopts the same mapped arrays so sharding ships
+            # the store path, not a pickled compiled set.
+            mapped = session.open_from_store(args.store)
+            evaluator.adopt_store(args.store)
+        except (SerializationError, SessionStateError) as exc:
+            _print(f"cobra batch: cannot use compiled store: {exc}")
+            return 1
+        _print(
+            f"Using compiled store {args.store} "
+            f"({mapped.size()} monomials, mmap-backed)"
+        )
+    _print()
+
     with Timer() as timer:
         report = session.evaluate_many(
             scenarios,
@@ -218,6 +238,7 @@ def run_batch(args: argparse.Namespace) -> int:
             mode=args.mode,
             processes=args.processes,
         )
+    evaluator.close()
     per_scenario = timer.elapsed / max(1, len(scenarios))
     _print(report.render_text(max_rows=args.top))
     _print()
@@ -410,6 +431,50 @@ def run_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_compile(args: argparse.Namespace) -> int:
+    """Compile provenance once and persist it as a mmap-able store file."""
+    from repro.provenance.store import read_store_header
+    from repro.utils.timing import Timer
+
+    if args.input:
+        provenance = load_provenance_set(args.input)
+        source = args.input
+    else:
+        config = TelephonyConfig(
+            num_customers=args.customers,
+            num_zips=args.zips,
+            months=tuple(range(1, args.months + 1)),
+        )
+        provenance = generate_revenue_provenance(config)
+        source = (
+            f"telephony ({args.customers} customers, {args.zips} zips, "
+            f"{args.months} months)"
+        )
+
+    session = CobraSession(provenance, semiring=args.semiring)
+    _print(
+        f"Compiling {source}: {provenance.size()} monomials, "
+        f"{provenance.num_variables()} variables, {len(provenance)} groups"
+    )
+    with Timer() as timer:
+        compiled = session.compile_to_store(args.output)
+    header = read_store_header(args.output)
+    size_bytes = Path(args.output).stat().st_size
+    _print(
+        f"Compiled in {timer.elapsed * 1000:.1f} ms "
+        f"(backend={compiled.backend_name})"
+    )
+    _print(
+        f"Store written to {args.output} "
+        f"({size_bytes / 1e6:.2f} MB, fingerprint {header['fingerprint'][:16]})"
+    )
+    _print(
+        "Open it from any process with `cobra batch --store "
+        f"{args.output}` or `open_store({args.output!r})`."
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -552,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the sequential per-scenario path and print the speedup",
     )
     batch.add_argument("--json", help="where to write a JSON summary")
+    batch.add_argument(
+        "--store", metavar="PATH",
+        help="open a compiled store written by `cobra compile` instead of "
+        "recompiling; worker processes mmap it instead of unpickling",
+    )
     _add_strategy_argument(batch, default="auto")
     _add_trace_arguments(batch)
     batch.set_defaults(func=run_batch)
@@ -591,6 +661,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_argument(compress, default="auto")
     _add_trace_arguments(compress)
     compress.set_defaults(func=run_compress)
+
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="compile provenance once and persist it as a mmap-able store",
+    )
+    compile_cmd.add_argument(
+        "--input",
+        help="provenance JSON file (default: generate the telephony workload)",
+    )
+    compile_cmd.add_argument("--customers", type=_positive_int, default=5_000)
+    compile_cmd.add_argument("--zips", type=_positive_int, default=100)
+    compile_cmd.add_argument("--months", type=_positive_int, default=12)
+    compile_cmd.add_argument(
+        "--semiring",
+        choices=("real", "tropical", "bool"),
+        default="real",
+        help="compiled backend to persist (default: real)",
+    )
+    compile_cmd.add_argument(
+        "--output", required=True, help="where to write the store file"
+    )
+    _add_trace_arguments(compile_cmd)
+    compile_cmd.set_defaults(func=run_compile)
 
     return parser
 

@@ -299,6 +299,71 @@ class CobraSession:
                 )
         return self._compiled_full, self._compiled_compressed
 
+    # -- compiled stores -------------------------------------------------------
+
+    def compile_to_store(self, path):
+        """Compile the full provenance and persist it as a mmap-able store.
+
+        The paper's workflow split in one call: the strong machine compiles
+        once and writes ``path``; any number of consumers then
+        :meth:`open_from_store` it with O(header) cold-start cost.  Returns
+        the compiled set (also kept as the session's compiled-full state).
+        """
+        if self._compiled_full is None:
+            with obs_trace("session.compile", which="full"):
+                self._compiled_full = self._backend.compile(self._provenance)
+        compiled = self._compiled_full
+        to_store = getattr(compiled, "to_store", None)
+        if to_store is None:
+            raise SessionStateError(
+                f"the {self._backend.name!r} backend's compiled form has no "
+                "mmap store format (only real/tropical/bool do)"
+            )
+        to_store(path)
+        return compiled
+
+    def open_from_store(self, path):
+        """Adopt the compiled store at ``path`` as this session's compiled form.
+
+        The store must match the session: same backend, and a fingerprint
+        equal to this session's provenance (a store compiled from different
+        provenance would silently answer the wrong what-ifs).  On success the
+        mapped compiled set replaces the session's compiled-full state and is
+        seeded into the batch evaluator's compile cache, so
+        :meth:`evaluate_many` — including ``processes=N`` sharding, which
+        then ships the store *path* to a persistent worker pool — runs off
+        the mapped arrays.  Returns the mapped compiled set.
+
+        Raises
+        ------
+        SerializationError
+            If the file is not a valid compiled store.
+        SessionStateError
+            On a backend or provenance-fingerprint mismatch.
+        """
+        from repro.batch.evaluator import BatchEvaluator
+        from repro.provenance.store import open_store
+
+        compiled = open_store(path)
+        if compiled.backend_name != self._backend.name:
+            raise SessionStateError(
+                f"{path}: store was compiled for the "
+                f"{compiled.backend_name!r} backend, but this session "
+                f"evaluates in {self._backend.name!r}"
+            )
+        fingerprint = self._provenance.fingerprint()
+        if compiled.source_fingerprint != fingerprint:
+            raise SessionStateError(
+                f"{path}: store fingerprint {compiled.source_fingerprint!r} "
+                "does not match this session's provenance "
+                f"({fingerprint!r}); recompile the store"
+            )
+        self._compiled_full = compiled
+        if self._batch_evaluator is None:
+            self._batch_evaluator = BatchEvaluator(compressor=self.compressor())
+        self._batch_evaluator.adopt_store(path)
+        return compiled
+
     def assign(
         self,
         meta_changes: Optional[Mapping[str, float]] = None,

@@ -13,7 +13,8 @@ This subpackage implements the provenance model COBRA consumes:
 * :mod:`repro.provenance.valuation` — assignments of values to variables and
   fast (vectorised) evaluation of polynomials under them;
 * :mod:`repro.provenance.parser` — a text format for polynomials;
-* :mod:`repro.provenance.serialization` — JSON round-tripping.
+* :mod:`repro.provenance.serialization` — JSON round-tripping;
+* :mod:`repro.provenance.store` — zero-copy mmap-able compiled stores.
 """
 
 from repro.provenance.variables import Variable, VariableRegistry
@@ -58,6 +59,12 @@ from repro.provenance.incidence import (
     VariableIncidence,
     provenance_incidence,
 )
+from repro.provenance.store import (
+    clear_store_cache,
+    open_store,
+    read_store_header,
+    write_store,
+)
 
 __all__ = [
     "Variable",
@@ -96,4 +103,8 @@ __all__ = [
     "ProvenanceIncidence",
     "VariableIncidence",
     "provenance_incidence",
+    "open_store",
+    "read_store_header",
+    "write_store",
+    "clear_store_cache",
 ]

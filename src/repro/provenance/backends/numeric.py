@@ -71,6 +71,10 @@ class _CompiledNumericSet(CompiledSemiringSet):
 
     supports_deltas = True
 
+    #: The semiring backend this compiled form belongs to (the name stamped
+    #: into compiled stores; see :mod:`repro.provenance.store`).
+    backend_name: str = ""
+
     __slots__ = (
         "_keys",
         "_variables",
@@ -80,6 +84,8 @@ class _CompiledNumericSet(CompiledSemiringSet):
         "_num_constants",
         "_delta_index",
         "_delta_baseline",
+        "_fingerprint",
+        "_store_path",
     )
 
     #: The additive identity of the semiring (fills rows with no monomials).
@@ -88,6 +94,8 @@ class _CompiledNumericSet(CompiledSemiringSet):
     def __init__(self, provenance: ProvenanceSet) -> None:
         self._delta_index = None
         self._delta_baseline = None
+        self._fingerprint = provenance.fingerprint()
+        self._store_path = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
         variables = sorted(provenance.variables())
         self._variables: Tuple[str, ...] = tuple(variables)
@@ -163,6 +171,36 @@ class _CompiledNumericSet(CompiledSemiringSet):
 
     def size(self) -> int:
         return self._num_constants + sum(len(g.coefficients) for g in self._groups)
+
+    @property
+    def source_fingerprint(self):
+        """The fingerprint of the provenance set this was compiled from."""
+        return self._fingerprint
+
+    @property
+    def store_path(self):
+        """The compiled store backing this set's arrays (``None`` if in-memory)."""
+        return self._store_path
+
+    def to_store(self, path) -> str:
+        """Persist this compiled set as a mmap-able store file at ``path``."""
+        from repro.provenance.store import write_store
+
+        return write_store(self, path)
+
+    @classmethod
+    def from_store(cls, path) -> "_CompiledNumericSet":
+        """Open the compiled store at ``path`` as an instance of this class."""
+        from repro.exceptions import SerializationError
+        from repro.provenance.store import open_store
+
+        compiled = open_store(path)
+        if not isinstance(compiled, cls):
+            raise SerializationError(
+                f"{path}: store holds a {compiled.backend_name!r} compiled "
+                f"set, not {cls.backend_name!r}"
+            )
+        return compiled
 
     def variable_index(self) -> Dict[str, int]:
         return dict(self._index)
@@ -352,6 +390,7 @@ class _CompiledTropicalSet(_CompiledNumericSet):
 
     __slots__ = ()
 
+    backend_name = "tropical"
     _identity = float("inf")
 
     def _fold_constant(self, row: int, coefficient: float) -> None:
@@ -389,6 +428,7 @@ class _CompiledBooleanSet(_CompiledNumericSet):
 
     __slots__ = ()
 
+    backend_name = "bool"
     _identity = 0.0
 
     def _fold_constant(self, row: int, coefficient: float) -> None:

@@ -9,6 +9,12 @@ then ``os.replace``-d into place), so a crash mid-write never corrupts an
 existing file, and are stamped with a ``version`` field; the loaders accept
 the current version plus legacy unversioned payloads and raise
 :class:`~repro.exceptions.SerializationError` on anything else.
+
+Atomic writes preserve the target's permissions: overwriting an existing
+file keeps its mode, and a fresh file gets the ordinary ``0o666 & ~umask``
+creation mode — ``tempfile.mkstemp``'s private ``0600`` temp-file mode is
+never leaked onto the destination (it used to be, silently tightening
+permissions on every save).
 """
 
 from __future__ import annotations
@@ -90,7 +96,14 @@ def provenance_set_from_dict(data: Dict) -> ProvenanceSet:
         if not isinstance(group, dict) or "key" not in group or "polynomial" not in group:
             raise InvalidPolynomialError(f"malformed provenance group: {group!r}")
         key = tuple(group["key"])
-        result[key] = polynomial_from_dict(group["polynomial"])
+        polynomial = polynomial_from_dict(group["polynomial"])
+        if key in result:
+            # A payload may legitimately repeat a group key (e.g. two
+            # producers appending to one file); merge by polynomial addition,
+            # mirroring how duplicate monomials accumulate coefficients in
+            # :func:`polynomial_from_dict` — never silently drop data.
+            polynomial = result[key] + polynomial
+        result[key] = polynomial
     return result
 
 
@@ -114,19 +127,38 @@ def valuation_from_dict(data: Dict[str, float]) -> Valuation:
 # ---------------------------------------------------------------------------
 
 
-def _atomic_write_text(path: PathLike, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+def _replacement_mode(path: Path) -> int:
+    """The permission bits the file at ``path`` should carry after a rewrite.
+
+    Overwriting preserves the existing target's mode; a brand-new file gets
+    the conventional ``0o666 & ~umask`` creation mode.  Either way the
+    private ``0600`` mode ``tempfile.mkstemp`` forces on its temp file (it
+    ignores the umask by design) never ends up on the destination.
+    """
+    try:
+        return os.stat(path).st_mode & 0o7777
+    except OSError:
+        umask = os.umask(0)
+        os.umask(umask)
+        return 0o666 & ~umask
+
+
+def _atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
 
     A crash mid-write leaves at most a stray ``*.tmp`` file behind; the
-    target file is either the previous version or the complete new one.
+    target file is either the previous version or the complete new one, and
+    its permissions honor the umask / the pre-existing target's mode (see
+    :func:`_replacement_mode`).
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.chmod(tmp_name, _replacement_mode(path))
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -134,6 +166,11 @@ def _atomic_write_text(path: PathLike, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def _atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (see :func:`_atomic_write_bytes`)."""
+    _atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def _wrap(kind: str, payload_key: str, payload) -> Dict:

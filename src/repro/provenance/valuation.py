@@ -520,6 +520,10 @@ class CompiledProvenanceSet:
     #: ``evaluate_deltas``) the batch evaluator's sparse mode dispatches on.
     supports_deltas = True
 
+    #: The semiring backend this compiled form belongs to (the name stamped
+    #: into compiled stores; see :mod:`repro.provenance.store`).
+    backend_name = "real"
+
     __slots__ = (
         "_keys",
         "_variables",
@@ -528,11 +532,15 @@ class CompiledProvenanceSet:
         "_groups",
         "_delta_index",
         "_delta_baseline",
+        "_fingerprint",
+        "_store_path",
     )
 
     def __init__(self, provenance: ProvenanceSet) -> None:
         self._delta_index = None
         self._delta_baseline = None
+        self._fingerprint = provenance.fingerprint()
+        self._store_path = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
         variables = sorted(provenance.variables())
         self._variables: Tuple[str, ...] = tuple(variables)
@@ -582,6 +590,48 @@ class CompiledProvenanceSet:
         count = int(np.count_nonzero(self._constant))
         count += sum(len(group.coefficients) for group in self._groups)
         return count
+
+    @property
+    def source_fingerprint(self) -> Optional[str]:
+        """The fingerprint of the provenance set this was compiled from."""
+        return self._fingerprint
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """The compiled store backing this set's arrays (``None`` if in-memory).
+
+        Set only by :func:`repro.provenance.store.open_store` — batch layers
+        use it to ship a path (not a pickle) to worker processes.
+        """
+        return self._store_path
+
+    def to_store(self, path) -> str:
+        """Persist this compiled set as a mmap-able store file at ``path``.
+
+        See :func:`repro.provenance.store.write_store`; the set itself keeps
+        its in-memory arrays (reopen via :meth:`from_store` for mapped ones).
+        """
+        from repro.provenance.store import write_store
+
+        return write_store(self, path)
+
+    @classmethod
+    def from_store(cls, path) -> "CompiledProvenanceSet":
+        """Open the compiled store at ``path`` as an instance of this class.
+
+        Raises :class:`~repro.exceptions.SerializationError` if the store
+        was written by a different backend.
+        """
+        from repro.exceptions import SerializationError
+        from repro.provenance.store import open_store
+
+        compiled = open_store(path)
+        if not isinstance(compiled, cls):
+            raise SerializationError(
+                f"{path}: store holds a {compiled.backend_name!r} compiled "
+                f"set, not {cls.backend_name!r}"
+            )
+        return compiled
 
     def variable_index(self) -> Dict[str, int]:
         """A copy of the variable → column index shared by every polynomial."""

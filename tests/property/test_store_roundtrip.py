@@ -1,0 +1,136 @@
+"""Property tests: evaluating from a mmap-loaded store is bit-identical.
+
+The store round trip (compile → ``write_store`` → ``open_store``) must be
+invisible to evaluation: the mapped arrays are float64 views over the same
+values the in-memory compiled set holds, and both the dense
+``evaluate_matrix`` and sparse ``evaluate_deltas`` pipelines run the exact
+same kernels over them — so results are compared with ``np.array_equal``
+(bit-identical), not within a tolerance, for every backend that has a store
+form (real, tropical, bool).  Scenario programs include ``set 0`` / ``scale
+0`` operations and zero-valued bases so the real kernel's zero-crossing
+fallback is on the tested path.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchEvaluator
+from repro.engine.scenario import Scenario
+from repro.provenance.backends import resolve_backend
+from repro.provenance.monomial import Monomial
+from repro.provenance.polynomial import Polynomial, ProvenanceSet
+from repro.provenance.store import write_store
+from repro.provenance.valuation import Valuation
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e"]
+SELECTOR_POOL = VARIABLE_NAMES + ["ghost"]
+
+STORE_BACKENDS = ("real", "tropical", "bool")
+
+
+@st.composite
+def polynomials(draw, max_terms=5):
+    terms = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+        exponents = draw(
+            st.dictionaries(
+                st.sampled_from(VARIABLE_NAMES),
+                st.integers(min_value=1, max_value=3),
+                max_size=3,
+            )
+        )
+        coefficient = draw(
+            st.floats(min_value=-20, max_value=20, allow_nan=False, allow_infinity=False)
+        )
+        monomial = Monomial(exponents)
+        terms[monomial] = terms.get(monomial, 0.0) + coefficient
+    return Polynomial(terms)
+
+
+@st.composite
+def provenance_sets(draw, max_groups=3):
+    result = ProvenanceSet()
+    for index in range(draw(st.integers(min_value=1, max_value=max_groups))):
+        result[(f"g{index}",)] = draw(polynomials())
+    return result
+
+
+@st.composite
+def scenarios(draw, max_operations=3):
+    scenario = Scenario(f"s{draw(st.integers(min_value=0, max_value=10**6))}")
+    for _ in range(draw(st.integers(min_value=0, max_value=max_operations))):
+        selector = draw(
+            st.one_of(
+                st.sampled_from(SELECTOR_POOL),
+                st.lists(st.sampled_from(SELECTOR_POOL), max_size=2),
+            )
+        )
+        amount = draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            )
+        )
+        if draw(st.booleans()):
+            scenario = scenario.scale(selector, amount)
+        else:
+            scenario = scenario.set_value(selector, amount)
+    return scenario
+
+
+@st.composite
+def base_valuations(draw):
+    return Valuation(
+        {
+            name: draw(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+                )
+            )
+            for name in draw(
+                st.lists(st.sampled_from(VARIABLE_NAMES), unique=True)
+            )
+        }
+    )
+
+
+def _store_matches_direct(provenance, scenario_list, base, semiring):
+    direct = BatchEvaluator()
+    mapped = BatchEvaluator()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "roundtrip.cps"
+        write_store(resolve_backend(semiring).compile(provenance), path)
+        mapped.adopt_store(path)
+        for mode in ("dense", "sparse"):
+            expected = direct.evaluate(
+                provenance, scenario_list, base_valuation=base,
+                semiring=semiring, mode=mode,
+            )
+            stored = mapped.evaluate(
+                provenance, scenario_list, base_valuation=base,
+                semiring=semiring, mode=mode,
+            )
+            assert stored.mode == expected.mode
+            assert np.array_equal(
+                np.asarray(stored.full_results),
+                np.asarray(expected.full_results),
+            ), f"{semiring}/{mode} diverged after the store round trip"
+
+
+@pytest.mark.parametrize("semiring", STORE_BACKENDS)
+@settings(max_examples=25, deadline=None)
+@given(
+    provenance=provenance_sets(),
+    scenario_list=st.lists(scenarios(), min_size=1, max_size=4),
+    base=base_valuations(),
+)
+def test_store_round_trip_is_bit_identical(
+    semiring, provenance, scenario_list, base
+):
+    _store_matches_direct(provenance, scenario_list, base, semiring)

@@ -195,3 +195,68 @@ class TestLegacyVersionCollision:
         valuation = load_valuation(path)
         assert valuation["version"] == pytest.approx(2.0)
         assert valuation["m3"] == pytest.approx(0.8)
+
+
+class TestFilePermissions:
+    """Regression: ``mkstemp`` temp files are mode 0600; the atomic-write
+    machinery must not leak that onto the destination."""
+
+    def _mode(self, path):
+        import os
+        import stat
+
+        return stat.S_IMODE(os.stat(path).st_mode)
+
+    def test_fresh_file_honours_umask(self, sample_provenance, tmp_path):
+        import os
+
+        path = tmp_path / "prov.json"
+        old = os.umask(0o022)
+        try:
+            save_provenance_set(sample_provenance, path)
+        finally:
+            os.umask(old)
+        assert self._mode(path) == 0o644
+
+    def test_resave_preserves_existing_mode(self, sample_provenance, tmp_path):
+        import os
+
+        path = tmp_path / "prov.json"
+        save_provenance_set(sample_provenance, path)
+        os.chmod(path, 0o664)
+        # Two saves over the pre-existing group-writable file: the replacement
+        # must keep its mode both times, not reset it to the temp file's 0600.
+        save_provenance_set(sample_provenance, path)
+        assert self._mode(path) == 0o664
+        save_provenance_set(sample_provenance, path)
+        assert self._mode(path) == 0o664
+
+
+class TestDuplicateGroupKeys:
+    """Regression: repeated group keys in a payload merge by polynomial
+    addition instead of silently keeping only the last occurrence."""
+
+    def test_duplicate_groups_merge_by_addition(self):
+        first = Polynomial.from_terms([(2.0, ["x"])])
+        second = Polynomial.from_terms([(3.0, ["x"]), (1.0, [])])
+        data = {
+            "groups": [
+                {"key": ["g"], "polynomial": polynomial_to_dict(first)},
+                {"key": ["g"], "polynomial": polynomial_to_dict(second)},
+            ]
+        }
+        result = provenance_set_from_dict(data)
+        assert len(result) == 1
+        assert result[("g",)].almost_equal(
+            Polynomial.from_terms([(5.0, ["x"]), (1.0, [])])
+        )
+
+    def test_distinct_groups_stay_distinct(self):
+        polynomial = Polynomial.from_terms([(1.0, ["x"])])
+        data = {
+            "groups": [
+                {"key": ["a"], "polynomial": polynomial_to_dict(polynomial)},
+                {"key": ["b"], "polynomial": polynomial_to_dict(polynomial)},
+            ]
+        }
+        assert len(provenance_set_from_dict(data)) == 2

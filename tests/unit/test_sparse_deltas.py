@@ -9,6 +9,8 @@ from repro.batch import BatchEvaluator, DeltaPlan, ScenarioBatch
 from repro.batch.evaluator import (
     MAX_BYTES_ENV,
     SPARSE_TOUCHED_FRACTION,
+    _process_map,
+    _resolve_max_bytes,
     lower_meta_deltas,
     lower_meta_matrix,
 )
@@ -295,6 +297,22 @@ class TestChunkBudget:
         with pytest.raises(ValueError):
             BatchEvaluator(max_bytes=0)
 
+    def test_malformed_environment_budget_names_the_variable(self, monkeypatch):
+        """Regression: "2GB" in the env used to die as a bare ``int()``
+        ValueError deep inside evaluation; it must name variable + value."""
+        monkeypatch.setenv(MAX_BYTES_ENV, "2GB")
+        with pytest.raises(ValueError, match=r"COBRA_BATCH_MAX_BYTES.*'2GB'"):
+            _resolve_max_bytes(None)
+
+    def test_non_positive_environment_budget(self, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV, "-5")
+        with pytest.raises(ValueError, match=r"COBRA_BATCH_MAX_BYTES.*>= 1"):
+            _resolve_max_bytes(None)
+
+    def test_explicit_argument_bypasses_environment(self, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV, "2GB")
+        assert _resolve_max_bytes(1024) == 1024
+
 
 class TestModeSelection:
     def _sparse_scenarios(self, count=8):
@@ -394,6 +412,11 @@ class TestLowerMetaDeltas:
         assert meta_plans[0][0].size == 0  # noop scenario stays a noop
 
 
+def _exploding_worker(piece):
+    """A picklable shard worker that fails the way a real kernel bug would."""
+    raise RuntimeError("shard kernel exploded")
+
+
 class TestProcessSharding:
     def test_sparse_sharded_matches_serial(self):
         provenance = _random_provenance(seed=17, num_variables=30)
@@ -434,6 +457,17 @@ class TestProcessSharding:
             BatchEvaluator().evaluate(
                 _random_provenance(), [Scenario("s")], processes=0
             )
+
+    def test_worker_exception_propagates(self):
+        """Regression: a bare ``except RuntimeError`` around the pool map used
+        to swallow genuine worker exceptions and silently recompute serially
+        — which re-raised only by luck (the serial path runs the same code).
+        The pool-bringup probe now owns the fallback, so a shard kernel's own
+        exception must reach the caller unchanged."""
+        provenance = _random_provenance(seed=21)
+        compiled = CompiledProvenanceSet(provenance)
+        with pytest.raises(RuntimeError, match="shard kernel exploded"):
+            _process_map(2, compiled, None, _exploding_worker, [object()])
 
     def test_pool_failure_falls_back_to_serial(self, monkeypatch):
         import concurrent.futures as futures
