@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional
 
 
 class Counter:
@@ -253,7 +253,7 @@ class MetricsRegistry:
                 )
 
     @contextmanager
-    def scope(self):
+    def scope(self) -> Iterator["_Scope"]:
         """Bracket one evaluation: yields an object whose ``metrics`` holds
         the delta this block produced (filled at exit).
 

@@ -28,7 +28,8 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 #: Upper bound on retained completed root spans; a long-lived service with
 #: tracing left on must not leak memory just because nobody drains the roots.
@@ -97,7 +98,12 @@ class Span:
             tracer._push(self)
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> bool:
         self.duration = time.perf_counter() - self.start_time
         if self._cpu_start is not None:
             self.cpu_time = time.process_time() - self._cpu_start
@@ -132,7 +138,7 @@ class Span:
         span.children = [cls.from_dict(child) for child in data.get("children", ())]
         return span
 
-    def walk(self):
+    def walk(self) -> Iterator["Span"]:
         """Yield the span and every descendant, depth-first, pre-order."""
         yield self
         for child in self.children:
@@ -163,7 +169,12 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -271,7 +282,7 @@ def get_tracer() -> Tracer:
     return _TRACER
 
 
-def trace(name: str, **attributes: Any):
+def trace(name: str, **attributes: Any) -> Union[Span, _NoopSpan]:
     """Open a traced span (the one instrumentation entry point).
 
     Returns a live :class:`Span` context manager when tracing is enabled and
@@ -304,7 +315,7 @@ def disable_tracing() -> Tracer:
     return _TRACER
 
 
-def current_span():
+def current_span() -> Union[Span, _NoopSpan]:
     """The innermost open span, or the no-op span when tracing is off.
 
     Lets instrumentation annotate whatever span is live without opening a

@@ -38,6 +38,9 @@ class CompiledSemiringSet(ABC):
     dispatch without caring which backend produced the compilation.
     """
 
+    #: Empty so slotted compilations (every numeric kernel) stay dict-free.
+    __slots__ = ()
+
     #: Whether this compiled form implements the sparse delta surface
     #: (``baseline_totals`` / ``evaluate_deltas``).  Numeric compilations
     #: set this; set-valued ones fall back to dense per-scenario evaluation.
@@ -67,7 +70,9 @@ class CompiledSemiringSet(ABC):
         """Evaluate a batch of valuations (generic per-valuation loop)."""
         return tuple(self.evaluate(valuation) for valuation in valuations)
 
-    def evaluate_deltas(self, base_vector, plans):
+    def evaluate_deltas(
+        self, base_vector: Any, plans: Sequence[Tuple[Any, Any]]
+    ) -> Any:
         """Sparse scenario evaluation against one shared base vector.
 
         Numeric compilations override this with an O(affected monomials)

@@ -20,7 +20,7 @@ the chunked/threaded matrix pipeline works for every numeric semiring.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -92,10 +92,14 @@ class _CompiledNumericSet(CompiledSemiringSet):
     _identity: float = 0.0
 
     def __init__(self, provenance: ProvenanceSet) -> None:
-        self._delta_index = None
-        self._delta_baseline = None
+        self._delta_index: Optional[
+            Tuple[Tuple[Any, np.ndarray, np.ndarray], ...]
+        ] = None
+        self._delta_baseline: Optional[
+            Tuple[bytes, np.ndarray, Tuple[np.ndarray, ...], np.ndarray]
+        ] = None
         self._fingerprint = provenance.fingerprint()
-        self._store_path = None
+        self._store_path: Optional[str] = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
         variables = sorted(provenance.variables())
         self._variables: Tuple[str, ...] = tuple(variables)
@@ -173,23 +177,23 @@ class _CompiledNumericSet(CompiledSemiringSet):
         return self._num_constants + sum(len(g.coefficients) for g in self._groups)
 
     @property
-    def source_fingerprint(self):
+    def source_fingerprint(self) -> str:
         """The fingerprint of the provenance set this was compiled from."""
         return self._fingerprint
 
     @property
-    def store_path(self):
+    def store_path(self) -> "str | None":
         """The compiled store backing this set's arrays (``None`` if in-memory)."""
         return self._store_path
 
-    def to_store(self, path) -> str:
+    def to_store(self, path: str) -> str:
         """Persist this compiled set as a mmap-able store file at ``path``."""
         from repro.provenance.store import write_store
 
         return write_store(self, path)
 
     @classmethod
-    def from_store(cls, path) -> "_CompiledNumericSet":
+    def from_store(cls, path: str) -> "_CompiledNumericSet":
         """Open the compiled store at ``path`` as an instance of this class."""
         from repro.exceptions import SerializationError
         from repro.provenance.store import open_store
@@ -235,7 +239,7 @@ class _CompiledNumericSet(CompiledSemiringSet):
             self._accumulate(totals, group.segment_rows, segments, axis=1)
         return totals
 
-    def evaluate_many(self, valuations: Sequence[Mapping[str, Any]]):
+    def evaluate_many(self, valuations: Sequence[Mapping[str, Any]]) -> np.ndarray:
         if not valuations:
             return np.zeros((0, len(self._keys)), dtype=np.float64)
         matrix = np.stack([self.values_vector(v) for v in valuations])
@@ -250,7 +254,7 @@ class _CompiledNumericSet(CompiledSemiringSet):
             cells += group.indices.size
         return max(1, cells)
 
-    def _delta_groups(self):
+    def _delta_groups(self) -> Tuple[Tuple[Any, np.ndarray, np.ndarray], ...]:
         """Per-group inverted index, per-monomial rows and segment extents."""
         if self._delta_index is None:
             built = []
@@ -272,7 +276,9 @@ class _CompiledNumericSet(CompiledSemiringSet):
             self._delta_index = tuple(built)
         return self._delta_index
 
-    def _delta_state(self, base_vector: np.ndarray):
+    def _delta_state(
+        self, base_vector: np.ndarray
+    ) -> Tuple[bytes, np.ndarray, Tuple[np.ndarray, ...], np.ndarray]:
         """Baseline-once state: totals plus per-segment baseline reductions."""
         base_vector = np.asarray(base_vector, dtype=np.float64)
         if base_vector.shape != (len(self._variables),):
@@ -324,8 +330,9 @@ class _CompiledNumericSet(CompiledSemiringSet):
         out = np.empty((len(plans), num_keys), dtype=np.float64)
         scratch = base.copy()
         for s, (columns, values) in enumerate(plans):
-            columns = np.asarray(columns, dtype=np.intp)
-            values = np.asarray(values, dtype=np.float64)
+            # Plans arrive as caller-shaped sequences; coercion is per-plan.
+            columns = np.asarray(columns, dtype=np.intp)  # cobralint: disable=CL003 -- per-plan input coercion
+            values = np.asarray(values, dtype=np.float64)  # cobralint: disable=CL003 -- per-plan input coercion
             if columns.size == 0:
                 out[s] = totals
                 continue
@@ -353,7 +360,8 @@ class _CompiledNumericSet(CompiledSemiringSet):
                 scratch[columns] = base[columns]
                 continue
             affected_rows = np.unique(np.concatenate(row_parts))
-            row = totals.copy()
+            out[s] = totals
+            row = out[s]
             row[affected_rows] = self._constant[affected_rows]
             # Pass 2: re-fold every segment owned by an affected row —
             # recomputing the affected ones, reusing baseline reductions for
@@ -380,7 +388,6 @@ class _CompiledNumericSet(CompiledSemiringSet):
                     )
                     folded[np.searchsorted(in_rows, segments)] = recomputed
                 self._fold_rows(row, group.segment_rows[in_rows], folded)
-            out[s] = row
             scratch[columns] = base[columns]
         return out
 
@@ -400,20 +407,24 @@ class _CompiledTropicalSet(_CompiledNumericSet):
         gathered = matrix[..., group.indices]
         return np.sum(gathered * group.exponents, axis=-1) + group.coefficients
 
-    def _reduce(self, contributions, starts, axis):
+    def _reduce(self, contributions: np.ndarray, starts: np.ndarray, axis: int) -> np.ndarray:
         return np.minimum.reduceat(contributions, starts, axis=axis)
 
-    def _accumulate(self, totals, rows, segments, axis):
+    def _accumulate(self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray, axis: int) -> None:
         totals[:, rows] = np.minimum(totals[:, rows], segments)
 
-    def _restricted_contributions(self, group, values, positions):
+    def _restricted_contributions(
+        self, group: _SegmentGroup, values: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
         gathered = values[group.indices[positions]]
         return (
             np.sum(gathered * group.exponents[positions], axis=-1)
             + group.coefficients[positions]
         )
 
-    def _fold_rows(self, totals, rows, segments):
+    def _fold_rows(
+        self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray
+    ) -> None:
         totals[rows] = np.minimum(totals[rows], segments)
 
 
@@ -440,18 +451,22 @@ class _CompiledBooleanSet(_CompiledNumericSet):
         present = np.all(gathered, axis=-1)
         return present & (group.coefficients != 0.0)
 
-    def _reduce(self, contributions, starts, axis):
+    def _reduce(self, contributions: np.ndarray, starts: np.ndarray, axis: int) -> np.ndarray:
         return np.logical_or.reduceat(contributions, starts, axis=axis)
 
-    def _accumulate(self, totals, rows, segments, axis):
+    def _accumulate(self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray, axis: int) -> None:
         totals[:, rows] = np.maximum(totals[:, rows], segments.astype(np.float64))
 
-    def _restricted_contributions(self, group, values, positions):
+    def _restricted_contributions(
+        self, group: _SegmentGroup, values: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
         gathered = values[group.indices[positions]] != 0.0
         present = np.all(gathered, axis=-1)
         return present & (group.coefficients[positions] != 0.0)
 
-    def _fold_rows(self, totals, rows, segments):
+    def _fold_rows(
+        self, totals: np.ndarray, rows: np.ndarray, segments: np.ndarray
+    ) -> None:
         totals[rows] = np.maximum(totals[rows], segments.astype(np.float64))
 
     def _to_python(self, value: np.floating) -> Any:
@@ -512,7 +527,7 @@ class RealBackend(NumericBackend):
     def semiring(self) -> Semiring:
         return self._semiring
 
-    def compile(self, provenance: ProvenanceSet):
+    def compile(self, provenance: ProvenanceSet) -> CompiledSemiringSet:
         from repro.provenance.valuation import CompiledProvenanceSet
 
         with trace("backend.compile", backend=self.name, monomials=provenance.size()):

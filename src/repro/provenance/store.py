@@ -45,9 +45,13 @@ from __future__ import annotations
 import json
 import os
 import struct
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.provenance.backends.base import CompiledSemiringSet
+    from repro.provenance.valuation import FingerprintCache
 
 from repro.exceptions import SerializationError
 from repro.obs.metrics import get_registry
@@ -86,7 +90,7 @@ def _align(offset: int) -> int:
     return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
-def _compiled_blocks(compiled) -> List[Tuple[str, np.ndarray]]:
+def _compiled_blocks(compiled: Any) -> List[Tuple[str, np.ndarray]]:
     """The named arrays of ``compiled`` in their canonical on-disk order.
 
     Includes the sparse delta index (built here if the set never evaluated
@@ -114,7 +118,7 @@ def _compiled_blocks(compiled) -> List[Tuple[str, np.ndarray]]:
     return blocks
 
 
-def write_store(compiled, path: PathLike) -> str:
+def write_store(compiled: Any, path: PathLike) -> str:
     """Persist ``compiled`` as a mmap-able store at ``path`` (atomically).
 
     ``compiled`` must be one of the numeric compiled forms — a real
@@ -243,7 +247,9 @@ def _data_start(path: PathLike) -> int:
 class _BlockReader:
     """Zero-copy views into one mapped store file."""
 
-    def __init__(self, path: str, directory: Dict[str, Dict], data_start: int):
+    def __init__(
+        self, path: str, directory: Dict[str, Dict], data_start: int
+    ) -> None:
         self._path = path
         self._raw = np.memmap(path, dtype=np.uint8, mode="r")
         self._directory = directory
@@ -266,14 +272,23 @@ class _BlockReader:
                 f"{self._path}: truncated compiled store (block {name!r} "
                 f"ends at byte {end}, file has {self._raw.size})"
             )
-        return self._raw[start:end].view(dtype).reshape(shape)
+        view = self._raw[start:end].view(dtype).reshape(shape)
+        if view.flags.writeable:
+            # mode="r" maps must stay read-only end to end: a writeable view
+            # would let kernel code corrupt the shared page-cache copy every
+            # other process sees.
+            raise SerializationError(
+                f"{self._path}: block {name!r} mapped writeable — "
+                "refusing to hand out a mutable view of a shared store"
+            )
+        return view
 
 
-def _as_key(item) -> object:
+def _as_key(item: object) -> object:
     return tuple(_as_key(part) for part in item) if isinstance(item, list) else item
 
 
-def _store_classes():
+def _store_classes() -> Dict[str, Tuple[type, type]]:
     # Imported lazily: valuation/backends import is cheap but would be a
     # cycle at module import time (valuation lazily imports this module).
     from repro.provenance.backends.numeric import (
@@ -290,7 +305,7 @@ def _store_classes():
     }
 
 
-def _open_store(path: str):
+def _open_store(path: str) -> "CompiledSemiringSet":
     from repro.provenance.incidence import VariableIncidence
 
     header = read_store_header(path)
@@ -352,10 +367,10 @@ def _open_store(path: str):
 # The open-store cache
 # ---------------------------------------------------------------------------
 
-_STORE_CACHE = None
+_STORE_CACHE: Optional["FingerprintCache"] = None
 
 
-def _store_cache():
+def _store_cache() -> "FingerprintCache":
     # Lazy, like the incidence cache: constructing it registers the
     # store_cache.hits/.misses counters with the metrics registry.
     from repro.provenance.valuation import FingerprintCache
@@ -366,7 +381,7 @@ def _store_cache():
     return _STORE_CACHE
 
 
-def open_store(path: PathLike, cached: bool = True):
+def open_store(path: PathLike, cached: bool = True) -> "CompiledSemiringSet":
     """Open the compiled store at ``path`` as a mmap-backed compiled set.
 
     The returned object is the exact compiled class the store's backend
@@ -391,7 +406,7 @@ def open_store(path: PathLike, cached: bool = True):
     path = os.fspath(path)
     stat = os.stat(path)
 
-    def build():
+    def build() -> "CompiledSemiringSet":
         with trace("store.open", path=os.path.basename(path)) as span:
             compiled = _open_store(path)
             span.update(

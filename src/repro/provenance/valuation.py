@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.exceptions import MissingValuationError
 from repro.obs.tracer import trace
+from repro.provenance.backends.base import CompiledSemiringSet
 from repro.provenance.incidence import (
     VariableIncidence,
     expand_segment_rows,
@@ -505,7 +506,7 @@ class _MonomialGroup:
         return np.prod(gathered, axis=-1) * self.coefficients
 
 
-class CompiledProvenanceSet:
+class CompiledProvenanceSet(CompiledSemiringSet):
     """A :class:`ProvenanceSet` compiled for fast repeated assignment.
 
     All polynomials share one variable index; the monomials are lowered into
@@ -811,8 +812,9 @@ class CompiledProvenanceSet:
         multi_column = np.zeros(num_plans, dtype=np.bool_)
         with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
             for s, (columns, values) in enumerate(plans):
-                columns = np.asarray(columns, dtype=np.intp)
-                values = np.asarray(values, dtype=np.float64)
+                # Plans arrive as caller-shaped sequences; coercion is per-plan.
+                columns = np.asarray(columns, dtype=np.intp)  # cobralint: disable=CL003 -- per-plan input coercion
+                values = np.asarray(values, dtype=np.float64)  # cobralint: disable=CL003 -- per-plan input coercion
                 if columns.size == 0:
                     continue
                 ratios = values / base[columns]
@@ -878,6 +880,9 @@ class CompiledProvenanceSet:
                         np.concatenate(([True], occ_sid[1:] != occ_sid[:-1]))
                     )
                     ends = np.append(boundaries[1:], occ_sid.size)
+                    # cobralint: disable=CL003 -- iterates scenario segments,
+                    # not elements: one step per scenario with multi-touch
+                    # monomials, each step fully vectorised via ufunc.at.
                     for b, e in zip(boundaries, ends):
                         if e - b < 2 or not multi_column[occ_sid[b]]:
                             continue
@@ -915,8 +920,8 @@ class CompiledProvenanceSet:
                     exact.append(
                         (
                             s,
-                            np.asarray(plans[s][0], dtype=np.intp),
-                            np.asarray(plans[s][1], dtype=np.float64),
+                            np.asarray(plans[s][0], dtype=np.intp),  # cobralint: disable=CL003 -- rare overflow fallback, off the fast path
+                            np.asarray(plans[s][1], dtype=np.float64),  # cobralint: disable=CL003 -- rare overflow fallback, off the fast path
                         )
                     )
                 for s, columns, values in exact:

@@ -110,6 +110,41 @@ class TestStoreFormat:
         with pytest.raises((ValueError, RuntimeError)):
             group.coefficients[0] = 123.0
 
+    def test_every_mapped_block_is_unwriteable(self, provenance, tmp_path):
+        _, path = _store(provenance, tmp_path)
+        mapped = open_store(path, cached=False)
+        views = [mapped._constant]
+        for group in mapped._groups:
+            views.extend(
+                (
+                    group.coefficients,
+                    group.indices,
+                    group.exponents,
+                    group.segment_starts,
+                    group.segment_rows,
+                )
+            )
+        for view in views:
+            assert view.flags.writeable is False
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped._constant[0] = 99.0
+
+    def test_block_reader_refuses_writeable_map(self, tmp_path):
+        from repro.provenance.store import _BlockReader
+
+        path = tmp_path / "w.bin"
+        path.write_bytes(np.zeros(8, dtype=np.float64).tobytes())
+        reader = _BlockReader(
+            str(path),
+            {"constant": {"dtype": "<f8", "shape": [8], "offset": 0}},
+            0,
+        )
+        # Simulate a mapping that (wrongly) came back writeable: the reader
+        # must refuse to hand out the view rather than propagate it.
+        reader._raw = np.zeros(64, dtype=np.uint8)
+        with pytest.raises(SerializationError):
+            reader("constant")
+
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad.cps"
         path.write_bytes(b"NOTASTORE" + b"\x00" * 64)

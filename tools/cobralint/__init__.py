@@ -1,0 +1,30 @@
+"""cobralint — the project's static-analysis suite.
+
+Run ``python -m tools.cobralint src tests benchmarks`` (add ``--json PATH``
+for the machine-readable report).  See ``tools/cobralint/README.md`` for
+the rule catalogue and the suppression syntax, and
+``tools/cobralint/ratchet.py`` for the strict-typing ratchet that rides
+alongside it.
+"""
+
+from tools.cobralint.engine import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    Suppressions,
+    lint_paths,
+    register,
+    registered_rules,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "Suppressions",
+    "lint_paths",
+    "register",
+    "registered_rules",
+]

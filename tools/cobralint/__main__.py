@@ -1,0 +1,7 @@
+"""``python -m tools.cobralint src tests benchmarks``"""
+
+import sys
+
+from tools.cobralint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,118 @@
+"""The ``python -m tools.cobralint`` entry point."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from tools.cobralint.engine import Finding, lint_paths, registered_rules
+
+#: cobralint's own version, stamped into the JSON report.
+VERSION = "1.0.0"
+
+
+def _summarise(findings: Sequence[Finding]) -> Dict[str, Dict[str, int]]:
+    summary: Dict[str, Dict[str, int]] = {}
+    for finding in findings:
+        entry = summary.setdefault(
+            finding.rule, {"active": 0, "suppressed": 0}
+        )
+        entry["suppressed" if finding.suppressed else "active"] += 1
+    return summary
+
+
+def build_report(
+    findings: Sequence[Finding], paths: Sequence[str]
+) -> Dict[str, object]:
+    """The ``--json`` document: version, rules, per-rule counts, findings."""
+    return {
+        "tool": "cobralint",
+        "version": VERSION,
+        "paths": list(paths),
+        "rules": {
+            rule_id: {"name": rule.name, "description": rule.description}
+            for rule_id, rule in registered_rules().items()
+        },
+        "summary": _summarise(findings),
+        "findings": [finding.to_dict() for finding in findings],
+        "active": sum(1 for f in findings if not f.suppressed),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.cobralint",
+        description=(
+            "Project-specific static analysis: memmap safety (CL001), "
+            "picklable worker payloads (CL002), hot-path discipline (CL003), "
+            "tracer discipline (CL004), narrow exceptions (CL005), "
+            "package layering (CL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally write the machine-readable report to PATH "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by inline suppressions",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in registered_rules().items():
+            print(f"{rule_id}  {rule.name:28} {rule.description}")
+        return 0
+
+    select = (
+        [rule.strip() for rule in args.select.split(",") if rule.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, root=os.getcwd(), select=select)
+    active: List[Finding] = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    shown = findings if args.show_suppressed else active
+    for finding in shown:
+        print(finding.render())
+
+    if args.json:
+        report = json.dumps(build_report(findings, args.paths), indent=2)
+        if args.json == "-":
+            print(report)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+
+    status = "FAIL" if active else "OK"
+    print(
+        f"cobralint: {status} — {len(active)} finding(s), "
+        f"{len(suppressed)} suppressed",
+        file=sys.stderr,
+    )
+    return 1 if active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via __main__
+    sys.exit(main())

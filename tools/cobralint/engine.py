@@ -1,0 +1,367 @@
+"""The cobralint core: findings, suppressions, the rule registry, the driver.
+
+cobralint is the project's own static-analysis pass.  Generic linters check
+style; this one checks the *runtime invariants* the engine is built on —
+memmap'd arrays stay read-only, worker payloads stay picklable, hot kernels
+stay allocation-free, tracer spans stay NOOP-safe, exceptions stay narrow,
+and the package DAG stays acyclic.  Each invariant is one :class:`Rule`
+(per-file AST visitor) or :class:`ProjectRule` (whole-tree pass, e.g. the
+import-graph check), registered under a stable ``CLxxx`` id.
+
+Findings can be silenced inline::
+
+    risky_line()  # cobralint: disable=CL003 -- justification
+
+A trailing comment suppresses findings reported on its own line; a
+stand-alone suppression comment suppresses the next non-comment line (for
+lines too long to annotate in place).  ``disable=all`` silences every rule.
+Suppressed findings are counted and reported (``--json`` includes them), so
+an audit can always see what was waived and why.
+
+The module is stdlib-only on purpose: the lint gate must run in CI jobs and
+sandboxes that have no numpy.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: Matches one suppression comment.  The optional ``-- text`` tail is the
+#: human justification; cobralint keeps it in the suppression record.
+_SUPPRESS_RE = re.compile(
+    r"#\s*cobralint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*--\s*(.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification:
+            record["justification"] = self.justification
+        return record
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{tag} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file map of line → suppressed rule ids (plus justifications)."""
+
+    by_line: Dict[int, Dict[str, Optional[str]]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        """Extract suppression comments via the tokenizer (never from strings)."""
+        result = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return result
+        # A stand-alone comment suppresses the next code-bearing line; a
+        # trailing comment suppresses its own line.
+        pending: Dict[str, Optional[str]] = {}
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(token.string)
+                if not match:
+                    continue
+                rules = {
+                    rule.strip().upper()
+                    for rule in match.group(1).split(",")
+                    if rule.strip()
+                }
+                justification = match.group(2) or None
+                line_text = token.line[: token.start[1]].strip()
+                if line_text:
+                    bucket = result.by_line.setdefault(token.start[0], {})
+                    for rule in rules:
+                        bucket[rule] = justification
+                else:
+                    for rule in rules:
+                        pending[rule] = justification
+            elif token.type in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+            ):
+                continue
+            elif pending and token.type not in (
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                bucket = result.by_line.setdefault(token.start[0], {})
+                bucket.update(pending)
+                pending = {}
+        return result
+
+    def lookup(self, rule: str, line: int) -> Tuple[bool, Optional[str]]:
+        bucket = self.by_line.get(line)
+        if not bucket:
+            return False, None
+        if rule.upper() in bucket:
+            return True, bucket[rule.upper()]
+        if "ALL" in bucket:
+            return True, bucket["ALL"]
+        return False, None
+
+
+class FileContext:
+    """One parsed source file handed to every applicable rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.suppressions = Suppressions.parse(source)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        suppressed, justification = self.suppressions.lookup(rule.id, line)
+        return Finding(
+            rule=rule.id,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            suppressed=suppressed,
+            justification=justification,
+        )
+
+
+class Rule:
+    """A per-file rule: override :meth:`check` to yield findings.
+
+    ``include``/``exclude`` are substring filters over the forward-slashed
+    relative path; a rule only sees files it :meth:`applies_to`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        path = path.replace(os.sep, "/")
+        if any(part in path for part in self.exclude):
+            return False
+        if self.include and not any(part in path for part in self.include):
+            return False
+        return True
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id} {self.name}>"
+
+
+class ProjectRule(Rule):
+    """A whole-tree rule (e.g. the import-graph check).
+
+    The driver collects every applicable file first and calls
+    :meth:`finalize` once; :meth:`check` is unused.
+    """
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} must define a rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """The registered rules, keyed by id (registration order preserved)."""
+    _ensure_rules_loaded()
+    return dict(_REGISTRY)
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules package runs every @register decorator exactly once.
+    from tools.cobralint import rules as _rules  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared by the rules
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name a call targets (``open_store``, ``np.asarray`` ...)."""
+    return dotted_name(node.func)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    """Yield ``(parent, function)`` for every function/method in the module."""
+
+    def walk(parent: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield parent, child
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.If, ast.Try),
+            ):
+                yield from walk(child)
+
+    yield from walk(tree)  # type: ignore[misc]
+
+
+def assignment_targets(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(name, value_expr)`` pairs for simple assignments in ``node``."""
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign) and stmt.value is not None:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                yield stmt.target.id, stmt.value
+
+
+def enclosing_loops(func: ast.AST) -> Dict[ast.AST, bool]:
+    """Map every node inside ``func`` to whether a loop encloses it (within
+    the function body; nested function bodies are not descended into)."""
+    in_loop: Dict[ast.AST, bool] = {}
+
+    def visit(node: ast.AST, looped: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            child_looped = looped or isinstance(child, (ast.For, ast.While))
+            in_loop[child] = child_looped
+            visit(child, child_looped)
+
+    visit(func, False)
+    return in_loop
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files or directories), sorted."""
+    found: List[str] = []
+    for raw in paths:
+        path = raw if os.path.isabs(raw) else os.path.join(root, raw)
+        if os.path.isfile(path) and path.endswith(".py"):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in ("__pycache__", ".git")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(set(found))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run every registered rule over ``paths``; returns all findings.
+
+    ``select`` restricts to the given rule ids.  Unparseable files produce a
+    ``CL000`` parse-error finding instead of crashing the run — a tree that
+    does not parse must fail the gate, not dodge it.
+    """
+    _ensure_rules_loaded()
+    root = root or os.getcwd()
+    wanted = {r.upper() for r in select} if select else None
+    rules = [
+        rule
+        for rule_id, rule in _REGISTRY.items()
+        if wanted is None or rule_id.upper() in wanted
+    ]
+    findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    for filepath in discover_files(paths, root):
+        relative = os.path.relpath(filepath, root).replace(os.sep, "/")
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=relative)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            findings.append(
+                Finding(
+                    rule="CL000",
+                    path=relative,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+            continue
+        context = FileContext(relative, source, tree)
+        contexts.append(context)
+        for rule in rules:
+            if isinstance(rule, ProjectRule) or not rule.applies_to(relative):
+                continue
+            findings.extend(rule.check(context))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            scoped = [c for c in contexts if rule.applies_to(c.path)]
+            findings.extend(rule.finalize(scoped))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,268 @@
+"""The strict-typing ratchet: the mypy-strict module list may only grow.
+
+Three checks, in order:
+
+1. **Lock superset** — every pattern in ``tools/cobralint/ratchet.lock``
+   must still be covered by the ``[[tool.mypy.overrides]]`` strict list in
+   ``pyproject.toml``.  Removing a ratcheted module fails CI; adding one
+   means appending to *both* files in the same commit.
+2. **Annotation coverage** — an AST pass over every source module matched
+   by the ratchet patterns: each ``def`` must annotate its return type and
+   every parameter (``self``/``cls`` excepted).  This runs everywhere,
+   including environments without mypy, so the ratchet cannot silently rot
+   between CI runs.
+3. **mypy** — when mypy is importable (or ``--require-mypy`` is given),
+   run it over the ratcheted modules with the pyproject configuration.
+
+Usage::
+
+    python -m tools.cobralint.ratchet                # checks 1 + 2 (+3 if mypy present)
+    python -m tools.cobralint.ratchet --require-mypy # CI: fail if mypy missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import fnmatch
+import importlib.util
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+LOCK_PATH = os.path.join(HERE, "ratchet.lock")
+PYPROJECT_PATH = os.path.join(REPO_ROOT, "pyproject.toml")
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+
+class RatchetError(Exception):
+    """A ratchet invariant was violated."""
+
+
+def load_lock(path: str = LOCK_PATH) -> List[str]:
+    patterns: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                patterns.append(line)
+    return patterns
+
+
+def load_strict_modules(path: str = PYPROJECT_PATH) -> List[str]:
+    """The module list of the strict ``[[tool.mypy.overrides]]`` entry."""
+    if tomllib is None:
+        return _load_strict_modules_fallback(path)
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    overrides = data.get("tool", {}).get("mypy", {}).get("overrides", [])
+    for override in overrides:
+        if override.get("disallow_untyped_defs"):
+            module = override.get("module", [])
+            return [module] if isinstance(module, str) else list(module)
+    return []
+
+
+def _load_strict_modules_fallback(path: str) -> List[str]:
+    """Minimal line-based extraction for pythons without tomllib."""
+    modules: List[str] = []
+    in_module_list = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line.startswith("module = ["):
+                in_module_list = True
+                continue
+            if in_module_list:
+                if line.startswith("]"):
+                    in_module_list = False
+                    continue
+                modules.append(line.strip('",').strip('"'))
+    return [m for m in modules if m]
+
+
+def check_lock_superset(
+    strict: Sequence[str], lock: Sequence[str]
+) -> List[str]:
+    """Lock patterns no longer covered by the pyproject strict list."""
+    return [pattern for pattern in lock if pattern not in set(strict)]
+
+
+def modules_for_patterns(
+    patterns: Sequence[str], src_root: str = SRC_ROOT
+) -> Dict[str, str]:
+    """Expand ratchet patterns to ``{dotted.module: file_path}``."""
+    matched: Dict[str, str] = {}
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+            parts = rel[: -len(".py")].split("/")
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            module = ".".join(parts)
+            for pattern in patterns:
+                if fnmatch.fnmatchcase(module, pattern) or (
+                    pattern.endswith(".*")
+                    and module == pattern[: -len(".*")]
+                ):
+                    matched[module] = path
+                    break
+    return matched
+
+
+def annotation_gaps(path: str) -> List[Tuple[int, str]]:
+    """``(line, message)`` for every def with missing annotations."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    gaps: List[Tuple[int, str]] = []
+
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.class_depth = 0
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.class_depth += 1
+            self.generic_visit(node)
+            self.class_depth -= 1
+
+        def _check(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+            args = node.args
+            positional = args.posonlyargs + args.args
+            skip_first = bool(self.class_depth) and not any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in node.decorator_list
+            )
+            to_check = list(positional[1:] if skip_first else positional)
+            to_check += args.kwonlyargs
+            if args.vararg:
+                to_check.append(args.vararg)
+            if args.kwarg:
+                to_check.append(args.kwarg)
+            for arg in to_check:
+                if arg.annotation is None:
+                    gaps.append(
+                        (
+                            node.lineno,
+                            f"{node.name}(): parameter {arg.arg!r} lacks "
+                            "a type annotation",
+                        )
+                    )
+            if node.returns is None:
+                gaps.append(
+                    (node.lineno, f"{node.name}(): missing return annotation")
+                )
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._check(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._check(node)
+
+    _Visitor().visit(tree)
+    return gaps
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy(modules: Dict[str, str]) -> Tuple[int, str]:
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        PYPROJECT_PATH,
+        *sorted(modules.values()),
+    ]
+    proc = subprocess.run(
+        command, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.cobralint.ratchet",
+        description="strict-typing ratchet: lock superset + annotation "
+        "coverage + mypy (when available)",
+    )
+    parser.add_argument(
+        "--require-mypy",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed",
+    )
+    parser.add_argument(
+        "--skip-mypy",
+        action="store_true",
+        help="run only the lock and annotation-coverage checks",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+
+    strict = load_strict_modules()
+    lock = load_lock()
+    missing = check_lock_superset(strict, lock)
+    if missing:
+        failures += len(missing)
+        for pattern in missing:
+            print(
+                f"ratchet: pyproject.toml strict list no longer covers "
+                f"{pattern!r} (the ratchet only turns one way — restore it)"
+            )
+    else:
+        print(
+            f"ratchet: lock OK — {len(lock)} pattern(s) covered by "
+            "pyproject.toml"
+        )
+
+    modules = modules_for_patterns(lock)
+    gap_count = 0
+    for module, path in sorted(modules.items()):
+        for line, message in annotation_gaps(path):
+            gap_count += 1
+            rel = os.path.relpath(path, REPO_ROOT)
+            print(f"{rel}:{line}: ratchet[{module}] {message}")
+    if gap_count:
+        failures += gap_count
+    else:
+        print(
+            f"ratchet: annotations OK — {len(modules)} module(s) fully "
+            "annotated"
+        )
+
+    if args.skip_mypy:
+        pass
+    elif mypy_available():
+        code, output = run_mypy(modules)
+        if code != 0:
+            failures += 1
+            print(output)
+        else:
+            print("ratchet: mypy OK")
+    elif args.require_mypy:
+        failures += 1
+        print("ratchet: mypy required but not installed")
+    else:
+        print("ratchet: mypy not installed — skipping (CI runs it)")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

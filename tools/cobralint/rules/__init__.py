@@ -1,0 +1,19 @@
+"""The project rule set.  Importing this package registers every rule."""
+
+from tools.cobralint.rules import (  # noqa: F401  (import-for-registration)
+    broadexcept,
+    hotpath,
+    layering,
+    memmap,
+    tracerdiscipline,
+    workers,
+)
+
+__all__ = [
+    "memmap",
+    "workers",
+    "hotpath",
+    "tracerdiscipline",
+    "broadexcept",
+    "layering",
+]

@@ -1,0 +1,103 @@
+"""CL005 — bare / swallowed broad exception handlers.
+
+PR 7's worker-pool fix is the cautionary tale: a broad handler around pool
+bringup used to swallow *worker* exceptions and silently recompute shards
+serially — wrong results were one masked bug away.  In engine and store
+code a handler must either name the exceptions it can actually handle or
+visibly re-raise.
+
+Flagged (in ``src/`` and ``benchmarks/``; property tests legitimately probe
+"anything raised" and are exempt):
+
+* ``except:`` — always;
+* ``except Exception`` / ``except BaseException`` (alone or in a tuple)
+  whose handler body does not re-raise (no bare ``raise`` anywhere in it).
+
+A broad handler that re-raises (cleanup-then-propagate, like the atomic
+writer's temp-file unlink) is fine — the exception still surfaces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.cobralint.engine import FileContext, Finding, Rule, register
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _names_in_handler_type(node: ast.AST) -> List[str]:
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_names_in_handler_type(element))
+        return names
+    return []
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a re-raise of the caught exception."""
+    caught = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                caught is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == caught
+            ):
+                return True
+            # ``raise Wrapped(...) from exc`` keeps the cause visible.
+            if (
+                caught is not None
+                and isinstance(node.cause, ast.Name)
+                and node.cause.id == caught
+            ):
+                return True
+    return False
+
+
+@register
+class BroadExceptionRule(Rule):
+    id = "CL005"
+    name = "broad-exception"
+    description = "bare except / swallowed broad exception handler"
+    include = ("src/", "benchmarks/")
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    context.finding(
+                        self,
+                        node,
+                        "bare `except:` — catches SystemExit/KeyboardInterrupt "
+                        "too; name the exceptions this code can actually handle",
+                    )
+                )
+                continue
+            broad = [
+                name
+                for name in _names_in_handler_type(node.type)
+                if name in BROAD_NAMES
+            ]
+            if broad and not _reraises(node):
+                findings.append(
+                    context.finding(
+                        self,
+                        node,
+                        f"`except {broad[0]}` without re-raise swallows every "
+                        "error (PR 7's pool-fallback bug class); narrow the "
+                        "type or re-raise after cleanup",
+                    )
+                )
+        return findings

@@ -1,0 +1,267 @@
+"""CL006 — the package DAG: layered imports, no cycles, obs stays pure.
+
+The repo's architecture is a layered DAG over ``src/repro``::
+
+    exceptions, utils, obs          (base: import nothing of repro)
+    provenance                      (the algebra + compiled kernels + store)
+    core                            (compression kernels, over provenance)
+    db                              (mini relational engine)
+    engine                          (sessions/scenarios/reports)
+    batch                           (sweep evaluation; consumes the scenario
+                                     model from engine)
+    workloads                       (telephony/TPC-H/routing generators)
+    cli                             (top: may import everything)
+
+Enforced over *module-level* imports (imports inside functions and under
+``if TYPE_CHECKING:`` are the sanctioned lazy escape hatch and are ignored
+for layering — ``engine.session`` lazily importing ``batch`` is how the
+one deliberate near-cycle stays broken):
+
+* every module-level ``repro.*`` import must be allowed by the layer table;
+* the module-level import graph must be acyclic (reported once per cycle);
+* ``repro.obs`` must import **no** repro package at all, at any level —
+  instrumentation that drags in domain code deadlocks module init in
+  workers;
+* ``repro.workloads`` must never import ``repro.cli``, at any level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.cobralint.engine import FileContext, Finding, ProjectRule, register
+
+#: package → packages it may import at module level.  The facade
+#: ``repro/__init__`` re-exports the public API and is exempt.
+BASE_PACKAGES = {"exceptions", "utils", "obs"}
+
+ALLOWED_DEPS: Dict[str, Set[str]] = {
+    "exceptions": set(),
+    "utils": set(),
+    "obs": set(),
+    "provenance": set(BASE_PACKAGES),
+    "core": {"provenance", *BASE_PACKAGES},
+    "db": {"provenance", "core", *BASE_PACKAGES},
+    "engine": {"core", "provenance", "db", *BASE_PACKAGES},
+    "batch": {"core", "provenance", "engine", *BASE_PACKAGES},
+    "workloads": {"core", "db", "engine", "batch", "provenance", *BASE_PACKAGES},
+    "cli": {
+        "core",
+        "db",
+        "engine",
+        "batch",
+        "workloads",
+        "provenance",
+        *BASE_PACKAGES,
+    },
+}
+
+
+def _module_name(path: str) -> Optional[str]:
+    """``src/repro/batch/evaluator.py`` → ``repro.batch.evaluator``."""
+    path = path.replace("\\", "/")
+    marker = "src/repro/"
+    if marker not in path and not path.startswith("repro/"):
+        return None
+    tail = path.split(marker, 1)[1] if marker in path else path[len("repro/") :]
+    parts = ["repro"] + tail[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _package_of(module: str) -> Optional[str]:
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return ""  # the facade
+    head = parts[1]
+    return head
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Module-level vs. lazy repro imports, with TYPE_CHECKING awareness."""
+
+    def __init__(self) -> None:
+        self.module_level: List[Tuple[str, ast.AST]] = []
+        self.lazy: List[Tuple[str, ast.AST]] = []
+        self._depth = 0
+        self._type_checking = 0
+
+    def _record(self, module: str, node: ast.AST) -> None:
+        if not module.startswith("repro"):
+            return
+        if self._depth or self._type_checking:
+            self.lazy.append((module, node))
+        else:
+            self.module_level.append((module, node))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record(alias.name, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            self._record(node.module, node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        test = node.test
+        is_type_checking = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or (isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+        if is_type_checking:
+            self._type_checking += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+
+@register
+class LayeringRule(ProjectRule):
+    id = "CL006"
+    name = "layering"
+    description = "package-DAG violation / import cycle / impure obs"
+    include = ("src/repro/",)
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        graph: Dict[str, Set[str]] = {}
+        modules: Set[str] = set()
+        collected: List[Tuple[FileContext, str, _ImportCollector]] = []
+
+        for context in contexts:
+            module = _module_name(context.path)
+            if module is None:
+                continue
+            modules.add(module)
+            collector = _ImportCollector()
+            collector.visit(context.tree)
+            collected.append((context, module, collector))
+
+        for context, module, collector in collected:
+            package = _package_of(module)
+            graph.setdefault(module, set())
+            for target, node in collector.module_level:
+                graph[module].add(self._normalise(target, modules))
+            if package == "":
+                continue  # the repro/__init__ facade re-exports everything
+            # Layer table (module-level imports only).
+            if package in ALLOWED_DEPS:
+                allowed = ALLOWED_DEPS[package]
+                for target, node in collector.module_level:
+                    target_pkg = _package_of(target)
+                    if target_pkg in (None, "", package):
+                        continue
+                    if target_pkg not in allowed:
+                        findings.append(
+                            context.finding(
+                                self,
+                                node,
+                                f"layer {package!r} must not import "
+                                f"{target_pkg!r} at module level (allowed: "
+                                f"{', '.join(sorted(allowed)) or 'nothing'})",
+                            )
+                        )
+            # obs purity: no repro import at any level, lazy included.
+            if package == "obs":
+                for target, node in (
+                    collector.module_level + collector.lazy
+                ):
+                    if _package_of(target) != "obs":
+                        findings.append(
+                            context.finding(
+                                self,
+                                node,
+                                f"repro.obs must stay dependency-free but "
+                                f"imports {target} — instrumentation cannot "
+                                "depend on the layers it instruments",
+                            )
+                        )
+            # workloads never import cli, not even lazily.
+            if package == "workloads":
+                for target, node in (
+                    collector.module_level + collector.lazy
+                ):
+                    if _package_of(target) == "cli":
+                        findings.append(
+                            context.finding(
+                                self,
+                                node,
+                                "workloads must never import repro.cli "
+                                f"(found {target}) — generators are library "
+                                "code, the CLI sits above them",
+                            )
+                        )
+
+        findings.extend(self._cycle_findings(graph, collected))
+        return findings
+
+    def _normalise(self, target: str, modules: Set[str]) -> str:
+        """Resolve an imported dotted path to a known module (or its package)."""
+        parts = target.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in modules:
+                return candidate
+            parts = parts[:-1]
+        return target
+
+    def _cycle_findings(
+        self,
+        graph: Dict[str, Set[str]],
+        collected: Sequence[Tuple[FileContext, str, _ImportCollector]],
+    ) -> Iterable[Finding]:
+        """Report each module-level import cycle once (shortest rendering)."""
+        by_module = {module: context for context, module, _ in collected}
+        colour: Dict[str, int] = {}
+        stack: List[str] = []
+        cycles: List[Tuple[str, ...]] = []
+
+        def visit(node: str) -> None:
+            colour[node] = 1
+            stack.append(node)
+            for neighbour in sorted(graph.get(node, ())):
+                if neighbour not in graph:
+                    continue
+                state = colour.get(neighbour, 0)
+                if state == 0:
+                    visit(neighbour)
+                elif state == 1:
+                    cycle = tuple(stack[stack.index(neighbour) :]) + (neighbour,)
+                    key = frozenset(cycle)
+                    if all(frozenset(c) != key for c in cycles):
+                        cycles.append(cycle)
+            stack.pop()
+            colour[node] = 2
+
+        for node in sorted(graph):
+            if colour.get(node, 0) == 0:
+                visit(node)
+
+        for cycle in cycles:
+            context = by_module.get(cycle[0])
+            if context is None:
+                continue
+            rendering = " -> ".join(cycle)
+            yield context.finding(
+                self,
+                context.tree.body[0] if context.tree.body else context.tree,
+                f"module-level import cycle: {rendering} — break it with a "
+                "lazy (function-level) import on the higher layer",
+            )
