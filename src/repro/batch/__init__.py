@@ -14,14 +14,19 @@ built for heavy multi-scenario traffic:
   with chunked matrix kernels or baseline-once sparse delta kernels
   (``mode="auto"`` picks per batch), optionally sharded across worker
   processes;
+* :mod:`repro.batch.factored` — shared-delta factoring for structured
+  sweeps: the scenarios' common operation prefix is evaluated once against
+  the base row and only small per-scenario residual deltas hit the kernels
+  (``mode="auto"`` upgrades qualifying sparse batches to it);
 * :mod:`repro.batch.report` — :class:`BatchReport` aggregates per-scenario /
   per-group deltas against the baseline and the abstraction-induced error of
   the compressed provenance across the sweep.
 
-The convenient entry point is
-:meth:`repro.engine.session.CobraSession.evaluate_many`, which routes a
-scenario sweep through a session's provenance (and its compressed form, if
-one was computed).
+The convenient entry points are
+:meth:`repro.engine.session.CobraSession.evaluate_many` (flat scenario
+lists) and :meth:`repro.engine.session.CobraSession.evaluate_plan`
+(declarative :mod:`repro.engine.plan` sweeps), which route through a
+session's provenance (and its compressed form, if one was computed).
 """
 
 from repro.batch.planner import DeltaPlan, ScenarioBatch
@@ -29,6 +34,12 @@ from repro.batch.evaluator import (
     BatchEvaluator,
     lower_meta_deltas,
     lower_meta_matrix,
+)
+from repro.batch.factored import (
+    Factoring,
+    common_prefix_length,
+    factor_batch,
+    prefix_statistics,
 )
 from repro.batch.report import BatchReport, ScenarioOutcome
 
@@ -38,6 +49,10 @@ __all__ = [
     "BatchEvaluator",
     "lower_meta_matrix",
     "lower_meta_deltas",
+    "Factoring",
+    "common_prefix_length",
+    "factor_batch",
+    "prefix_statistics",
     "BatchReport",
     "ScenarioOutcome",
 ]

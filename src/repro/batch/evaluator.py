@@ -4,7 +4,7 @@
 provenance sets once (an LRU cache keyed by
 :meth:`~repro.provenance.polynomial.ProvenanceSet.fingerprint`), lowers
 scenario lists through :class:`~repro.batch.planner.ScenarioBatch`, and
-evaluates the whole sweep with one of two vectorised pipelines:
+evaluates the whole sweep with one of three vectorised pipelines:
 
 * **dense** — one ``scenarios × variables`` matrix through the segmented
   matrix kernels, chunked to a memory budget and optionally fanned out over
@@ -14,11 +14,16 @@ evaluates the whole sweep with one of two vectorised pipelines:
   the compiled sets' inverted variable→monomial index
   (:meth:`~repro.provenance.valuation.CompiledProvenanceSet.evaluate_deltas`),
   recomputing only affected monomials/segments.  Real what-if traffic
-  perturbs a few variables per scenario, so this is the hot path.
+  perturbs a few variables per scenario, so this is the hot path;
+* **factored** — for structured sweeps sharing a common operation prefix
+  (grids, samples and composed plans from :mod:`repro.engine.plan`): the
+  prefix is applied **once** to produce a factored baseline
+  (:mod:`repro.batch.factored`), then only each scenario's small residual
+  delta runs through the sparse kernel.
 
-``mode="auto"`` picks between them by the batch's touched-variable fraction;
-``processes=N`` shards scenario rows of either pipeline across worker
-processes with chunked, memory-bounded assembly.
+``mode="auto"`` picks between them by the batch's touched-variable fraction
+and prefix-sharing statistics; ``processes=N`` shards scenario rows of any
+pipeline across worker processes with chunked, memory-bounded assembly.
 """
 
 from __future__ import annotations
@@ -47,12 +52,19 @@ from repro.provenance.valuation import (
     FingerprintCache,
     Valuation,
 )
+from repro.batch.factored import factor_batch, prefix_statistics
 from repro.batch.planner import DeltaPlan, ScenarioBatch
 from repro.batch.report import BatchReport
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.abstraction_tree import AbstractionForest, AbstractionTree
     from repro.core.optimizer import OptimizationResult
+    from repro.engine.plan import ScenarioPlan
+
+#: Scenarios per chunk when consuming a lazily-lowered plan
+#: (:meth:`BatchEvaluator.evaluate_plan`); bounds peak ``Scenario``
+#: materialisation for huge grids.
+PLAN_CHUNK_SCENARIOS = 8192
 
 #: Target number of float64 cells materialised per evaluation chunk when no
 #: explicit memory budget is configured; keeps the per-chunk gather/product
@@ -68,7 +80,17 @@ MAX_BYTES_ENV = "COBRA_BATCH_MAX_BYTES"
 #: sweeps sit far below it; matrix-filling sweeps far above.
 SPARSE_TOUCHED_FRACTION = 0.1
 
-_EVALUATION_MODES = ("auto", "dense", "sparse")
+#: ``mode="auto"`` upgrades a sparse batch to the factored path only when it
+#: has at least this many scenarios — below that the extra full-row pass for
+#: the factored baseline costs more than the shared cells it saves.
+FACTORED_MIN_SCENARIOS = 8
+
+#: ...and only when the shared operation prefix accounts for at least this
+#: fraction of the cells a typical scenario touches (see
+#: :func:`repro.batch.factored.prefix_statistics`).
+FACTORED_SHARED_FRACTION = 0.5
+
+_EVALUATION_MODES = ("auto", "dense", "sparse", "factored")
 
 # ---------------------------------------------------------------------------
 # Process-pool sharding
@@ -110,25 +132,26 @@ def _obs_shard(func, **attributes):
 
 
 def _dense_shard_worker(matrix: np.ndarray):
+    compiled = _SHARD_STATE["compiled"]
+
+    def run_kernel():
+        return compiled.evaluate_matrix(matrix)
+
     if not _SHARD_STATE.get("obs"):
-        return _SHARD_STATE["compiled"].evaluate_matrix(matrix)
-    return _obs_shard(
-        lambda: _SHARD_STATE["compiled"].evaluate_matrix(matrix),
-        kind="dense",
-        rows=int(matrix.shape[0]),
-    )
+        return run_kernel()
+    return _obs_shard(run_kernel, kind="dense", rows=int(matrix.shape[0]))
 
 
 def _sparse_shard_worker(plans):
+    compiled = _SHARD_STATE["compiled"]
+    base_vector = _SHARD_STATE["base"]
+
+    def run_kernel():
+        return compiled.evaluate_deltas(base_vector, plans)
+
     if not _SHARD_STATE.get("obs"):
-        return _SHARD_STATE["compiled"].evaluate_deltas(_SHARD_STATE["base"], plans)
-    return _obs_shard(
-        lambda: _SHARD_STATE["compiled"].evaluate_deltas(
-            _SHARD_STATE["base"], plans
-        ),
-        kind="sparse",
-        rows=len(plans),
-    )
+        return run_kernel()
+    return _obs_shard(run_kernel, kind="sparse", rows=len(plans))
 
 
 def _pool_probe() -> bool:
@@ -245,13 +268,17 @@ def _store_shard_task(task):
     compiled = open_store(path)
     if kind == "dense":
         rows = int(piece.shape[0])
-        func = lambda: compiled.evaluate_matrix(piece)  # noqa: E731
+
+        def run_kernel():
+            return compiled.evaluate_matrix(piece)
     else:
         rows = len(piece)
-        func = lambda: compiled.evaluate_deltas(base_vector, piece)  # noqa: E731
+
+        def run_kernel():
+            return compiled.evaluate_deltas(base_vector, piece)
     if not obs:
-        return func()
-    return _obs_shard(func, kind=kind, rows=rows, store=True)
+        return run_kernel()
+    return _obs_shard(run_kernel, kind=kind, rows=rows, store=True)
 
 
 class _StoreShardPool:
@@ -701,11 +728,15 @@ class BatchEvaluator:
         ``mode`` picks the numeric pipeline: ``"dense"`` lowers the batch to
         a full matrix, ``"sparse"`` evaluates the baseline once and applies
         per-scenario deltas through the inverted variable→monomial index,
-        and ``"auto"`` (default) selects sparse whenever the scenarios touch
-        at most ``SPARSE_TOUCHED_FRACTION`` of the variable universe on
-        average.  Both produce element-wise equal results.  ``processes``
-        shards scenario rows across worker processes (default: the
-        evaluator's configured width).
+        ``"factored"`` additionally evaluates the scenarios' shared
+        operation prefix once against a factored baseline, and ``"auto"``
+        (default) selects sparse whenever the scenarios touch at most
+        ``SPARSE_TOUCHED_FRACTION`` of the variable universe on average —
+        upgrading to factored when at least ``FACTORED_MIN_SCENARIOS``
+        scenarios share at least ``FACTORED_SHARED_FRACTION`` of their
+        touched cells.  All three produce element-wise equal results.
+        ``processes`` shards scenario rows across worker processes (default:
+        the evaluator's configured width).
         """
         registry = get_registry()
         registry.inc("batch.evaluations")
@@ -770,18 +801,40 @@ class BatchEvaluator:
         batch = ScenarioBatch(scenarios, universe)
 
         compiled_full = self.compile(provenance, backend)
-        use_sparse = mode == "sparse" or (
-            mode == "auto"
-            and getattr(compiled_full, "supports_deltas", False)
-            and batch.touched_fraction() <= SPARSE_TOUCHED_FRACTION
-        )
-        if use_sparse and not getattr(compiled_full, "supports_deltas", False):
+        supports_deltas = getattr(compiled_full, "supports_deltas", False)
+        if mode in ("sparse", "factored") and not supports_deltas:
             raise ValueError(
                 f"the {backend.name!r} backend's compiled form does not "
                 "support sparse delta evaluation; use mode='dense'"
             )
-        chosen = "sparse" if use_sparse else "dense"
-        get_registry().inc(f"batch.mode.{chosen}")
+        registry = get_registry()
+        chosen = "dense"
+        if mode in ("sparse", "factored"):
+            chosen = mode
+        elif mode == "auto" and supports_deltas:
+            # Factored first: a structured sweep's shared prefix may touch a
+            # large slice of the universe (disqualifying plain sparse), but
+            # it is evaluated once — only the *residual* touched fraction
+            # has to be sparse.  Factoring needs enough scenarios sharing a
+            # large enough prefix to pay for the extra factored-baseline row.
+            touched = batch.touched_fraction()
+            prefix_length, prefix_cells, shared = prefix_statistics(batch)
+            residual_touched = max(
+                0.0, touched - prefix_cells / max(1, len(batch.variables))
+            )
+            if (
+                len(batch) >= FACTORED_MIN_SCENARIOS
+                and prefix_length >= 1
+                and shared >= FACTORED_SHARED_FRACTION
+                and residual_touched <= SPARSE_TOUCHED_FRACTION
+            ):
+                chosen = "factored"
+                registry.inc("batch.factored.auto_hits")
+            else:
+                registry.inc("batch.factored.auto_misses")
+                if touched <= SPARSE_TOUCHED_FRACTION:
+                    chosen = "sparse"
+        registry.inc(f"batch.mode.{chosen}")
         if tracing_enabled():
             current_span().update(
                 {
@@ -795,7 +848,12 @@ class BatchEvaluator:
         if compressed is not None and abstraction is not None:
             compiled_compressed = self.compile(compressed, backend)
 
-        if use_sparse:
+        if chosen == "factored":
+            baseline, full_results, meta_rows = self._evaluate_factored(
+                compiled_full, compiled_compressed, abstraction, batch, base,
+                fill, processes,
+            )
+        elif chosen == "sparse":
             baseline, full_results, meta_rows = self._evaluate_sparse(
                 compiled_full, compiled_compressed, abstraction, batch, base,
                 fill, processes,
@@ -825,7 +883,7 @@ class BatchEvaluator:
                 full_size=provenance.size(),
                 compressed_size=compressed_size,
                 semiring=backend.name,
-                mode="sparse" if use_sparse else "dense",
+                mode=chosen,
             )
 
     # -- the two numeric pipelines --------------------------------------------
@@ -894,6 +952,149 @@ class BatchEvaluator:
                 compiled_compressed, meta_base, meta_plans, processes
             )
         return baseline, full_results, meta_rows
+
+    def _evaluate_factored(
+        self, compiled_full, compiled_compressed, abstraction, batch, base,
+        fill, processes,
+    ):
+        """The factored pipeline: shared prefix once, residual deltas after.
+
+        The report's baseline stays the *unfactored* baseline (the valuation
+        with no scenario applied); only the delta evaluation runs against the
+        factored row.  The residual plan's rows equal the unfactored plan's
+        rows bit-for-bit (see :mod:`repro.batch.factored`), so per-scenario
+        results match the sparse path cell for cell.
+        """
+        factoring = factor_batch(batch, base, fill=fill)
+        full_columns = batch.columns_for(compiled_full.variables)
+        base_vector = np.array(
+            [float(base.get(name, fill)) for name in compiled_full.variables],
+            dtype=np.float64,
+        )
+        baseline = compiled_full.baseline_totals(base_vector)
+        factored_vector, plans = factoring.residual_plan.project(full_columns)
+        full_results = self.evaluate_deltas(
+            compiled_full, factored_vector, plans, processes
+        )
+
+        registry = get_registry()
+        registry.inc("batch.factored.prefix_cells", factoring.prefix_cells)
+        registry.inc("batch.factored.residual_cells", factoring.residual_cells)
+        if tracing_enabled():
+            current_span().update(
+                {
+                    "prefix_length": factoring.prefix_length,
+                    "prefix_cells": factoring.prefix_cells,
+                    "residual_cells": factoring.residual_cells,
+                    "shared_fraction": factoring.shared_fraction,
+                }
+            )
+
+        meta_rows = None
+        if compiled_compressed is not None:
+            meta_base, meta_plans = lower_meta_deltas(
+                abstraction, batch, factoring.residual_plan,
+                compiled_compressed.variables, fill=fill,
+            )
+            meta_rows = self.evaluate_deltas(
+                compiled_compressed, meta_base, meta_plans, processes
+            )
+        return baseline, full_results, meta_rows
+
+    # -- declarative plans ------------------------------------------------------
+
+    def evaluate_plan(
+        self,
+        provenance: ProvenanceSet,
+        plan: "ScenarioPlan",
+        base_valuation: Optional[Mapping[str, float]] = None,
+        compressed: Optional[ProvenanceSet] = None,
+        abstraction: Optional[Abstraction] = None,
+        semiring: BackendLike = None,
+        mode: str = "auto",
+        processes: Optional[int] = None,
+        chunk_scenarios: Optional[int] = None,
+    ) -> BatchReport:
+        """Evaluate a declarative :class:`~repro.engine.plan.ScenarioPlan`.
+
+        The plan lowers lazily and is consumed in chunks of
+        ``chunk_scenarios`` (default :data:`PLAN_CHUNK_SCENARIOS`) scenarios,
+        so a 10^6-point grid never materialises every ``Scenario`` at once;
+        each chunk goes through :meth:`evaluate` (keeping the mode heuristic,
+        sharding, and compressed-sweep semantics) and the chunk reports are
+        stitched back into one :class:`BatchReport`.
+        """
+        if chunk_scenarios is None:
+            chunk_scenarios = PLAN_CHUNK_SCENARIOS
+        if chunk_scenarios < 1:
+            raise ValueError("chunk_scenarios must be >= 1 (or None)")
+        registry = get_registry()
+        registry.inc("batch.plans")
+        with trace(
+            "batch.plan",
+            plan=getattr(plan, "name", type(plan).__name__),
+            points=len(plan),
+            chunk=chunk_scenarios,
+        ) as span:
+            reports = []
+            chunk: list = []
+            for scenario in plan.lower():
+                chunk.append(scenario)
+                if len(chunk) >= chunk_scenarios:
+                    reports.append(
+                        self.evaluate(
+                            provenance, chunk, base_valuation, compressed,
+                            abstraction, semiring, mode, processes,
+                        )
+                    )
+                    chunk = []
+            if chunk:
+                reports.append(
+                    self.evaluate(
+                        provenance, chunk, base_valuation, compressed,
+                        abstraction, semiring, mode, processes,
+                    )
+                )
+            if not reports:
+                raise ValueError("the plan lowered to zero scenarios")
+            span.set("chunks", len(reports))
+            if len(reports) == 1:
+                return reports[0]
+            return self._stitch_reports(reports)
+
+    @staticmethod
+    def _stitch_reports(reports: Sequence[BatchReport]) -> BatchReport:
+        """One report covering every chunk of a plan evaluation.
+
+        Shared fields (keys, baseline, sizes, semiring) come from the first
+        chunk — every chunk evaluated the same provenance against the same
+        base.  ``mode`` is the shared chunk mode, or ``"mixed"`` when the
+        auto heuristic picked differently across chunks.
+        """
+        first = reports[0]
+        names = tuple(
+            name for report in reports for name in report.scenario_names
+        )
+        full_results = np.concatenate(
+            [report.full_results for report in reports], axis=0
+        )
+        compressed_results = None
+        if first.compressed_results is not None:
+            compressed_results = np.concatenate(
+                [report.compressed_results for report in reports], axis=0
+            )
+        modes = {report.mode for report in reports}
+        return BatchReport(
+            scenario_names=names,
+            keys=first.keys,
+            baseline=first.baseline,
+            full_results=full_results,
+            compressed_results=compressed_results,
+            full_size=first.full_size,
+            compressed_size=first.compressed_size,
+            semiring=first.semiring,
+            mode=modes.pop() if len(modes) == 1 else "mixed",
+        )
 
     @staticmethod
     def _align_compressed(

@@ -138,6 +138,20 @@ class ScenarioBatch:
         return len(self._scenarios)
 
     @property
+    def resolved_operations(
+        self,
+    ) -> Tuple[Tuple[Tuple[str, np.ndarray, float], ...], ...]:
+        """Per scenario, the resolved ``(kind, columns, amount)`` steps.
+
+        Columns index the batch universe (``np.intp`` arrays), in the
+        scenario's operation order — the contract the factored compiler
+        (:mod:`repro.batch.factored`) relies on: operations resolve
+        identically for every scenario sharing them, so a shared operation
+        prefix resolves to a shared step prefix.
+        """
+        return self._resolved
+
+    @property
     def noop_rows(self) -> Tuple[int, ...]:
         """Rows whose resolved operations all select nothing.
 

@@ -72,7 +72,10 @@ class BatchReport:
     mode:
         Which evaluation path produced the matrices: ``"dense"`` (the full
         ``scenarios × variables`` matrix pipeline), ``"sparse"`` (baseline-
-        once delta evaluation) or ``"generic"`` (the per-scenario symbolic
+        once delta evaluation), ``"factored"`` (shared-prefix deltas
+        evaluated once, residual deltas per scenario), ``"mixed"`` (a
+        chunked plan evaluation whose chunks took different paths) or
+        ``"generic"`` (the per-scenario symbolic
         fallback of set-valued semirings).  Both numeric paths produce
         element-wise equal results; the field records what ``mode="auto"``
         picked.

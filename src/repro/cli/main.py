@@ -13,6 +13,10 @@ back-end workflow (Figure 4) from the terminal:
   scenarios against the telephony provenance in one vectorised pass,
   optionally comparing against the compressed provenance and the sequential
   per-scenario path;
+* ``cobra sweep`` — evaluate a declarative scenario plan (a parameter grid
+  or Monte Carlo sample, specified as JSON) with shared-delta factoring:
+  the sweep's common operation prefix is evaluated once and only small
+  per-scenario residual deltas hit the kernels;
 * ``cobra tpch`` — run the reproduced TPC-H queries and compress each one;
 * ``cobra compress`` — the generic entry point: read provenance (JSON) and a
   tree (JSON) from disk, compress under a bound and write the result;
@@ -269,6 +273,143 @@ def run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_sweep_spec(config: TelephonyConfig) -> dict:
+    """The built-in `cobra sweep` plan: a plan-wide price cut crossed with
+    per-month factors — the structured-sweep shape shared-delta factoring is
+    built for (every point shares the plan-variable prefix)."""
+    from repro.workloads.abstraction_trees import PLAN_VARIABLES
+
+    months = [f"m{month}" for month in config.months[-2:]]
+    axes = [
+        {"op": "scale", "variables": [months[0]],
+         "values": [0.8, 0.9, 1.0, 1.1, 1.2]},
+    ]
+    if len(months) > 1:
+        axes.append(
+            {"op": "scale", "variables": [months[1]],
+             "values": [0.9, 1.0, 1.1]}
+        )
+    return {
+        "type": "grid",
+        "name": "telephony-sweep",
+        "base": [
+            {
+                "op": "scale",
+                "variables": sorted(PLAN_VARIABLES.values()),
+                "amount": 0.95,
+            }
+        ],
+        "axes": axes,
+    }
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    """Evaluate a declarative scenario plan (grid / Monte Carlo sample)."""
+    from repro.batch import BatchEvaluator
+    from repro.engine.plan import plan_from_spec
+    from repro.exceptions import ScenarioError
+    from repro.obs.metrics import get_registry
+    from repro.utils.timing import Timer
+
+    if args.plan and args.plan_json:
+        _print("cobra sweep: pass --plan or --plan-json, not both")
+        return 1
+    if args.input:
+        provenance = load_provenance_set(args.input)
+        config = None
+        source = args.input
+    else:
+        config = TelephonyConfig(
+            num_customers=args.customers,
+            num_zips=args.zips,
+            months=tuple(range(1, args.months + 1)),
+        )
+        provenance = generate_revenue_provenance(config)
+        source = (
+            f"telephony ({args.customers} customers, {args.zips} zips, "
+            f"{args.months} months)"
+        )
+
+    try:
+        if args.plan:
+            spec = json.loads(Path(args.plan).read_text())
+        elif args.plan_json:
+            spec = json.loads(args.plan_json)
+        else:
+            if config is None:
+                _print(
+                    "cobra sweep: --input needs an explicit plan "
+                    "(--plan/--plan-json); the default plan targets the "
+                    "telephony workload"
+                )
+                return 1
+            spec = _default_sweep_spec(config)
+        plan = plan_from_spec(spec)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+            ScenarioError) as exc:
+        _print(f"cobra sweep: invalid plan spec: {exc}")
+        return 1
+
+    _print(
+        f"Provenance: {source} — {provenance.size()} monomials, "
+        f"{provenance.num_variables()} variables"
+    )
+    _print(f"Plan: {json.dumps(plan.describe())}")
+
+    session = CobraSession(provenance)
+    if args.bound is not None:
+        session.set_abstraction_trees(plans_tree())
+        session.set_bound(args.bound)
+        session.compress(method=args.strategy)
+        _print(
+            f"Compressed under bound {args.bound}: "
+            f"{session.compressed_provenance.size()} monomials"
+        )
+    _print()
+
+    registry = get_registry()
+    before = registry.snapshot()
+    evaluator = BatchEvaluator()
+    with Timer() as timer:
+        report = session.evaluate_plan(
+            plan,
+            evaluator=evaluator,
+            mode=args.mode,
+            processes=args.processes,
+        )
+    evaluator.close()
+    delta = registry.diff(before, registry.snapshot())
+    counters = delta.get("counters", {})
+
+    _print(report.render_text(max_rows=args.top))
+    _print()
+    per_scenario = timer.elapsed / max(1, len(plan))
+    _print(
+        f"plan evaluation ({report.mode}): {timer.elapsed * 1e3:.1f} ms total "
+        f"({per_scenario * 1e6:.0f} us/scenario)"
+    )
+    prefix_cells = counters.get("batch.factored.prefix_cells", 0)
+    residual_cells = counters.get("batch.factored.residual_cells", 0)
+    hits = counters.get("batch.factored.auto_hits", 0)
+    misses = counters.get("batch.factored.auto_misses", 0)
+    if hits or misses:
+        _print(
+            f"factoring: {hits}/{hits + misses} chunks factored, "
+            f"prefix cells {prefix_cells}, residual cells {residual_cells}"
+        )
+
+    if args.json:
+        summary = report.summary()
+        summary["plan"] = plan.describe()
+        summary["plan_seconds"] = timer.elapsed
+        summary["factored_chunks"] = hits
+        summary["prefix_cells"] = prefix_cells
+        summary["residual_cells"] = residual_cells
+        Path(args.json).write_text(json.dumps(summary, indent=2))
+        _print(f"summary written to {args.json}")
+    return 0
+
+
 def run_whatif(args: argparse.Namespace) -> int:
     """End-to-end what-if reasoning in any semiring backend.
 
@@ -507,10 +648,11 @@ def _add_semiring_argument(parser: argparse.ArgumentParser) -> None:
 def _add_batch_mode_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mode",
-        choices=("auto", "dense", "sparse"),
+        choices=("auto", "dense", "sparse", "factored"),
         default="auto",
         help="evaluation pipeline: dense matrix, sparse baseline-once deltas, "
-        "or auto-select by touched-variable fraction (default: auto)",
+        "factored shared-prefix deltas, or auto-select by touched-variable "
+        "fraction and prefix sharing (default: auto)",
     )
     parser.add_argument(
         "--processes",
@@ -625,6 +767,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_argument(batch, default="auto")
     _add_trace_arguments(batch)
     batch.set_defaults(func=run_batch)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="evaluate a declarative scenario plan (grid / Monte Carlo "
+        "sample as JSON) with shared-delta factoring",
+    )
+    sweep.add_argument(
+        "--plan", metavar="PATH",
+        help="plan spec JSON file (see repro.engine.plan.plan_from_spec)",
+    )
+    sweep.add_argument(
+        "--plan-json", metavar="JSON",
+        help="plan spec as an inline JSON string",
+    )
+    sweep.add_argument(
+        "--input", metavar="PATH",
+        help="provenance JSON file (default: generate the telephony workload)",
+    )
+    sweep.add_argument("--customers", type=_positive_int, default=5_000)
+    sweep.add_argument("--zips", type=_positive_int, default=100)
+    sweep.add_argument("--months", type=_positive_int, default=12)
+    sweep.add_argument(
+        "--bound", type=int, default=None,
+        help="also compress under this bound and report abstraction error",
+    )
+    _add_batch_mode_arguments(sweep)
+    sweep.add_argument("--top", type=int, default=10, help="rows to print")
+    sweep.add_argument("--json", help="where to write a JSON summary")
+    _add_strategy_argument(sweep, default="auto")
+    _add_trace_arguments(sweep)
+    sweep.set_defaults(func=run_sweep)
 
     tpch = subparsers.add_parser("tpch", help="run the TPC-H workload")
     tpch.add_argument("--scale", type=float, default=0.001)

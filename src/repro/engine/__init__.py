@@ -8,11 +8,41 @@ and the assignment speedup relative to the full provenance.
 """
 
 from repro.engine.scenario import Scenario
+from repro.engine.plan import (
+    Axis,
+    GridPlan,
+    SamplePlan,
+    ComposePlan,
+    ScenarioPlan,
+    axis,
+    choice,
+    compose,
+    grid,
+    normal,
+    plan_from_spec,
+    sample,
+    sample_axis,
+    uniform,
+)
 from repro.engine.report import AssignmentReport, MetaVariableInfo
 from repro.engine.session import CobraSession
 
 __all__ = [
     "Scenario",
+    "ScenarioPlan",
+    "GridPlan",
+    "SamplePlan",
+    "ComposePlan",
+    "Axis",
+    "axis",
+    "sample_axis",
+    "uniform",
+    "normal",
+    "choice",
+    "grid",
+    "sample",
+    "compose",
+    "plan_from_spec",
     "AssignmentReport",
     "MetaVariableInfo",
     "CobraSession",

@@ -40,6 +40,7 @@ from repro.utils.timing import measure_speedup
 if TYPE_CHECKING:  # pragma: no cover — import cycle: repro.batch imports engine
     from repro.batch.evaluator import BatchEvaluator
     from repro.batch.report import BatchReport
+    from repro.engine.plan import ScenarioPlan
 
 TreeOrForest = Union[AbstractionTree, AbstractionForest]
 
@@ -574,6 +575,67 @@ class CobraSession:
                 semiring=self._backend,
                 mode=mode,
                 processes=processes,
+            )
+
+    def evaluate_plan(
+        self,
+        plan: "ScenarioPlan",
+        include_compressed: Union[bool, str] = "auto",
+        evaluator: Optional["BatchEvaluator"] = None,
+        mode: str = "auto",
+        processes: Optional[int] = None,
+        chunk_scenarios: Optional[int] = None,
+    ) -> "BatchReport":
+        """Evaluate a declarative :class:`~repro.engine.plan.ScenarioPlan`.
+
+        The plan form of :meth:`evaluate_many`: grids, Monte Carlo samples
+        and composed sweeps (:mod:`repro.engine.plan`) lower lazily in
+        bounded chunks, and sweeps sharing a common operation prefix take
+        the factored pipeline (shared deltas evaluated once — see
+        :mod:`repro.batch.factored`) under ``mode="auto"``.
+        ``include_compressed``/``evaluator``/``mode``/``processes`` behave
+        exactly as in :meth:`evaluate_many`; ``chunk_scenarios`` bounds how
+        many ``Scenario`` objects a huge plan materialises at once.
+        """
+        from repro.batch.evaluator import BatchEvaluator
+
+        if include_compressed not in (True, False, "auto"):
+            raise SessionStateError(
+                "include_compressed must be True, False or 'auto'"
+            )
+        if evaluator is None:
+            if self._batch_evaluator is None:
+                self._batch_evaluator = BatchEvaluator(
+                    compressor=self.compressor()
+                )
+            evaluator = self._batch_evaluator
+
+        compressed = None
+        abstraction = None
+        if include_compressed is True and self._optimization is None:
+            raise SessionStateError(
+                "include_compressed=True requires compress() to have run"
+            )
+        if include_compressed is not False and self._optimization is not None:
+            compressed = self.compressed_provenance
+            abstraction = self.abstraction
+
+        with obs_trace(
+            "session.evaluate_plan",
+            plan=getattr(plan, "name", type(plan).__name__),
+            points=len(plan),
+            compressed=compressed is not None,
+        ):
+            return evaluator.evaluate_plan(
+                self._provenance,
+                plan,
+                base_valuation=self._base_valuation,
+                compressed=compressed,
+                abstraction=abstraction,
+                semiring=self._backend,
+                mode=mode,
+                processes=processes,
+                chunk_scenarios=chunk_scenarios,
             )
 
     def compare_scenarios(

@@ -44,6 +44,16 @@ from repro.provenance.semiring import (
 )
 
 
+#: Distinct baselines whose delta state a compiled set keeps, LRU-evicted —
+#: sized for the factored batch path's two-baseline working set (see
+#: ``repro.provenance.valuation._DELTA_BASELINE_SLOTS``).
+_DELTA_BASELINE_SLOTS = 4
+
+#: One cached delta-state entry: ``(key, base_vector, per-group segment
+#: reductions, totals)``.
+_DeltaState = Tuple[bytes, np.ndarray, Tuple[np.ndarray, ...], np.ndarray]
+
+
 class _SegmentGroup:
     """One width-group of monomials, row-sorted for segmented reductions."""
 
@@ -95,9 +105,7 @@ class _CompiledNumericSet(CompiledSemiringSet):
         self._delta_index: Optional[
             Tuple[Tuple[Any, np.ndarray, np.ndarray], ...]
         ] = None
-        self._delta_baseline: Optional[
-            Tuple[bytes, np.ndarray, Tuple[np.ndarray, ...], np.ndarray]
-        ] = None
+        self._delta_baseline: List[_DeltaState] = []
         self._fingerprint = provenance.fingerprint()
         self._store_path: Optional[str] = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
@@ -276,9 +284,7 @@ class _CompiledNumericSet(CompiledSemiringSet):
             self._delta_index = tuple(built)
         return self._delta_index
 
-    def _delta_state(
-        self, base_vector: np.ndarray
-    ) -> Tuple[bytes, np.ndarray, Tuple[np.ndarray, ...], np.ndarray]:
+    def _delta_state(self, base_vector: np.ndarray) -> _DeltaState:
         """Baseline-once state: totals plus per-segment baseline reductions."""
         base_vector = np.asarray(base_vector, dtype=np.float64)
         if base_vector.shape != (len(self._variables),):
@@ -287,24 +293,35 @@ class _CompiledNumericSet(CompiledSemiringSet):
                 f"got shape {base_vector.shape}"
             )
         key = base_vector.tobytes()
-        if self._delta_baseline is None or self._delta_baseline[0] != key:
-            segment_values = []
-            totals = self._constant.copy()
-            for group in self._groups:
-                segments = self._reduce(
-                    self._contributions(group, base_vector),
-                    group.segment_starts,
-                    axis=0,
-                )
-                segment_values.append(segments)
-                self._fold_rows(totals, group.segment_rows, segments)
-            self._delta_baseline = (
-                key,
-                base_vector.copy(),
-                tuple(segment_values),
-                totals,
+        cache = self._delta_baseline
+        if cache is None:
+            cache = self._delta_baseline = []
+        for i, cached in enumerate(cache):
+            if cached[0] == key:
+                if i:
+                    # Move-to-front LRU: the factored batch path alternates
+                    # between the original and the factored baseline.
+                    cache.insert(0, cache.pop(i))
+                return cached
+        segment_values: List[np.ndarray] = []
+        totals = self._constant.copy()
+        for group in self._groups:
+            segments = self._reduce(
+                self._contributions(group, base_vector),
+                group.segment_starts,
+                axis=0,
             )
-        return self._delta_baseline
+            segment_values.append(segments)
+            self._fold_rows(totals, group.segment_rows, segments)
+        entry: _DeltaState = (
+            key,
+            base_vector.copy(),
+            tuple(segment_values),
+            totals,
+        )
+        cache.insert(0, entry)
+        del cache[_DELTA_BASELINE_SLOTS:]
+        return entry
 
     def baseline_totals(self, base_vector: np.ndarray) -> np.ndarray:
         """The per-group results under ``base_vector`` (the sparse baseline)."""

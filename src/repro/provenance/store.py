@@ -359,7 +359,7 @@ def _open_store(path: str) -> "CompiledSemiringSet":
             delta_index.append((incidence, monomial_rows, ends))
     compiled._groups = groups
     compiled._delta_index = tuple(delta_index)
-    compiled._delta_baseline = None
+    compiled._delta_baseline = []
     return compiled
 
 

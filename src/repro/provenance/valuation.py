@@ -51,6 +51,12 @@ DeltaPlanRow = Tuple[np.ndarray, np.ndarray]
 #: value (``None``, ``0``, ``False`` ...) in :class:`FingerprintCache`.
 _MISSING = object()
 
+#: Distinct baselines whose delta state (baseline contributions + totals) a
+#: compiled set keeps, LRU-evicted.  Two is the working set of a factored
+#: batch (original baseline for the report, factored baseline for the
+#: residual deltas); a little headroom covers interleaved sweeps.
+_DELTA_BASELINE_SLOTS = 4
+
 
 def _resolve_value_backend(semiring):
     """Resolve a ``semiring=`` argument to a backend, or ``None`` for real.
@@ -539,7 +545,7 @@ class CompiledProvenanceSet(CompiledSemiringSet):
 
     def __init__(self, provenance: ProvenanceSet) -> None:
         self._delta_index = None
-        self._delta_baseline = None
+        self._delta_baseline = []
         self._fingerprint = provenance.fingerprint()
         self._store_path = None
         self._keys: Tuple[Tuple, ...] = provenance.keys()
@@ -750,17 +756,29 @@ class CompiledProvenanceSet(CompiledSemiringSet):
                 f"got shape {base_vector.shape}"
             )
         key = base_vector.tobytes()
-        if self._delta_baseline is None or self._delta_baseline[0] != key:
-            contributions = tuple(
-                group.contributions(base_vector) for group in self._groups
+        cache = self._delta_baseline
+        if cache is None:
+            cache = self._delta_baseline = []
+        for i, entry in enumerate(cache):
+            if entry[0] == key:
+                if i:
+                    # Move-to-front LRU: the factored batch path alternates
+                    # between the original and the factored baseline, so a
+                    # one-slot cache would rebuild on every alternation.
+                    cache.insert(0, cache.pop(i))
+                return entry
+        contributions = tuple(
+            group.contributions(base_vector) for group in self._groups
+        )
+        totals = self._constant.copy()
+        for group, contrib in zip(self._groups, contributions):
+            totals[group.segment_rows] += np.add.reduceat(
+                contrib, group.segment_starts
             )
-            totals = self._constant.copy()
-            for group, contrib in zip(self._groups, contributions):
-                totals[group.segment_rows] += np.add.reduceat(
-                    contrib, group.segment_starts
-                )
-            self._delta_baseline = (key, base_vector.copy(), contributions, totals)
-        return self._delta_baseline
+        entry = (key, base_vector.copy(), contributions, totals)
+        cache.insert(0, entry)
+        del cache[_DELTA_BASELINE_SLOTS:]
+        return entry
 
     def baseline_totals(self, base_vector: np.ndarray) -> np.ndarray:
         """The per-group results under ``base_vector`` (the sparse baseline)."""

@@ -61,6 +61,14 @@ class TestScenarioBatch:
         assert batch.names == ("one", "two")
         assert len(batch) == 2
 
+    def test_touched_fraction_empty_universe(self):
+        # An empty variable universe (or an empty batch) must report 0.0,
+        # not divide by zero — the mode heuristic runs on every batch.
+        scenarios = [Scenario("s").scale(["a"], 2.0)]
+        assert ScenarioBatch(scenarios, []).touched_fraction() == 0.0
+        assert ScenarioBatch([], ["a"]).touched_fraction() == 0.0
+        assert ScenarioBatch([], []).touched_fraction() == 0.0
+
 
 class TestEvaluateMatrix:
     def test_matches_per_valuation_evaluate(self, provenance):

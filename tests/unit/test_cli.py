@@ -17,7 +17,9 @@ class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "telephony", "batch", "tpch", "compress", "whatif"):
+        for command in (
+            "demo", "telephony", "batch", "sweep", "tpch", "compress", "whatif"
+        ):
             assert command in text
 
 
@@ -56,6 +58,106 @@ class TestBatchCommand:
         summary = json.loads(summary_path.read_text())
         assert summary["scenarios"] == 12
         assert summary["batch_seconds"] > 0.0
+
+
+def _sweep_args(*extra):
+    return [
+        "sweep",
+        "--customers", "200",
+        "--zips", "5",
+        "--months", "12",
+        *extra,
+    ]
+
+
+class TestSweepCommand:
+    def test_default_plan_factors_the_sweep(self, capsys):
+        assert main(_sweep_args()) == 0
+        output = capsys.readouterr().out
+        assert '"type": "GridPlan"' in output
+        assert "plan evaluation (factored):" in output
+        assert "factoring: 1/1 chunks factored" in output
+
+    def test_inline_sample_plan_with_json_summary(self, capsys, tmp_path):
+        summary_path = tmp_path / "sweep.json"
+        spec = json.dumps(
+            {
+                "type": "sample",
+                "name": "mc",
+                "count": 20,
+                "seed": 7,
+                "base": [
+                    {"op": "scale", "variables": ["p1", "p2"], "amount": 0.9}
+                ],
+                "axes": [
+                    {
+                        "op": "scale",
+                        "variables": ["m12"],
+                        "distribution": {
+                            "kind": "uniform", "low": 0.8, "high": 1.2
+                        },
+                    }
+                ],
+            }
+        )
+        assert (
+            main(_sweep_args("--plan-json", spec, "--json", str(summary_path)))
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "20 scenarios x" in output
+        summary = json.loads(summary_path.read_text())
+        assert summary["scenarios"] == 20
+        assert summary["plan"]["type"] == "SamplePlan"
+        assert summary["plan_seconds"] > 0.0
+
+    def test_sample_spec_without_seed_is_rejected(self, capsys):
+        spec = json.dumps(
+            {
+                "type": "sample",
+                "count": 5,
+                "axes": [
+                    {"op": "scale", "variables": ["m1"],
+                     "distribution": {"kind": "uniform"}}
+                ],
+            }
+        )
+        assert main(_sweep_args("--plan-json", spec)) == 1
+        assert "invalid plan spec" in capsys.readouterr().out
+
+    def test_invalid_spec_json_is_rejected(self, capsys):
+        assert main(_sweep_args("--plan-json", "{not json")) == 1
+        assert "invalid plan spec" in capsys.readouterr().out
+
+    def test_plan_and_plan_json_are_exclusive(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text("{}")
+        assert (
+            main(_sweep_args("--plan", str(plan_file), "--plan-json", "{}"))
+            == 1
+        )
+        assert "not both" in capsys.readouterr().out
+
+    def test_input_requires_explicit_plan(self, capsys, tmp_path):
+        path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), path)
+        assert main(["sweep", "--input", str(path)]) == 1
+        assert "needs an explicit plan" in capsys.readouterr().out
+
+    def test_input_with_explicit_plan(self, capsys, tmp_path):
+        path = tmp_path / "prov.json"
+        save_provenance_set(example2_provenance(), path)
+        spec = json.dumps(
+            {
+                "type": "grid",
+                "axes": [
+                    {"op": "scale", "variables": ["p1"],
+                     "values": [0.8, 1.0, 1.2]}
+                ],
+            }
+        )
+        assert main(["sweep", "--input", str(path), "--plan-json", spec]) == 0
+        assert "3 scenarios x" in capsys.readouterr().out
 
 
 class TestDemoCommand:

@@ -332,6 +332,42 @@ class TestHotPathAllocation:
         )
         assert active(findings, "CL003") == []
 
+    def test_factor_batch_copy_under_loop_fires(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/batch/factored.py": """
+                import numpy as np
+
+                def factor_batch(batch):
+                    factored_row = np.ones(8)
+                    for operations in batch:
+                        values = factored_row.copy()
+                    return factored_row
+                """
+            },
+            select=["CL003"],
+        )
+        assert len(active(findings, "CL003")) == 1
+
+    def test_factor_batch_fancy_indexing_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/batch/factored.py": """
+                import numpy as np
+
+                def factor_batch(batch):
+                    factored_row = np.ones(8)
+                    for touched in batch:
+                        values = factored_row[touched] * 2.0
+                    return factored_row
+                """
+            },
+            select=["CL003"],
+        )
+        assert active(findings, "CL003") == []
+
     def test_non_kernel_function_is_exempt(self, tmp_path):
         findings = run_rule(
             tmp_path,

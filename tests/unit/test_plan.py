@@ -1,0 +1,210 @@
+"""Unit tests for declarative scenario plans (repro.engine.plan)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import (
+    ComposePlan,
+    GridPlan,
+    SamplePlan,
+    axis,
+    choice,
+    compose,
+    grid,
+    normal,
+    plan_from_spec,
+    sample,
+    sample_axis,
+    uniform,
+)
+from repro.engine.scenario import Scenario
+from repro.exceptions import ScenarioError
+
+
+class TestAxes:
+    def test_axis_validation(self):
+        with pytest.raises(ScenarioError):
+            axis("frobnicate", "x", [1.0])
+        with pytest.raises(ScenarioError):
+            axis("scale", "x", [])
+        with pytest.raises(ScenarioError):
+            axis("scale", "x", [-1.0])
+        # set axes may carry any value, including negatives
+        assert axis("set", "x", [-1.0]).values == (-1.0,)
+
+    def test_distribution_validation(self):
+        with pytest.raises(ScenarioError):
+            choice([])
+        dist = choice([1.0, 2.0])
+        rng = np.random.default_rng(0)
+        assert all(dist.draw(rng) in (1.0, 2.0) for _ in range(20))
+
+
+class TestGridPlan:
+    def test_grid_is_cartesian_product(self):
+        plan = grid(
+            axis("scale", "a", [0.5, 1.5]),
+            axis("set", "b", [0.0, 1.0, 2.0]),
+            name="g",
+        )
+        assert len(plan) == 6
+        scenarios = plan.scenarios()
+        assert [s.name for s in scenarios] == [f"g[{i}]" for i in range(6)]
+        amounts = [
+            (s.operations[0].amount, s.operations[1].amount) for s in scenarios
+        ]
+        assert amounts == list(itertools.product([0.5, 1.5], [0.0, 1.0, 2.0]))
+
+    def test_grid_lowers_lazily(self):
+        # A million-point grid: len() is O(axes) and taking a few points
+        # must not materialise the rest.
+        axes = [
+            axis("scale", f"v{i}", [0.9, 1.0, 1.1, 1.2, 1.3, 0.8, 0.7, 0.6,
+                                    0.5, 1.5])
+            for i in range(6)
+        ]
+        plan = grid(*axes, name="huge")
+        assert len(plan) == 10**6
+        first_three = list(itertools.islice(plan.lower(), 3))
+        assert [s.name for s in first_three] == [
+            "huge[0]", "huge[1]", "huge[2]"
+        ]
+
+    def test_grid_base_operations_are_shared_objects(self):
+        base = Scenario("base").scale(("a", "b"), 0.9)
+        plan = grid(axis("scale", "c", [1.0, 2.0]), base=base)
+        one, two = plan.scenarios()
+        assert one.operations[0] is base.operations[0]
+        assert two.operations[0] is base.operations[0]
+
+    def test_describe(self):
+        plan = grid(axis("scale", "a", [1.0, 2.0]), name="g")
+        summary = plan.describe()
+        assert summary["type"] == "GridPlan"
+        assert summary["points"] == 2
+        assert summary["base_operations"] == 0
+
+
+class TestSamplePlan:
+    def test_seed_is_required_and_deterministic(self):
+        with pytest.raises(TypeError):
+            sample(sample_axis("scale", "a", uniform(0.5, 1.5)), count=3)
+        plan = sample(
+            sample_axis("scale", "a", uniform(0.5, 1.5)), count=5, seed=11
+        )
+        first = [s.operations[0].amount for s in plan]
+        second = [s.operations[0].amount for s in plan]
+        assert first == second
+        other = sample(
+            sample_axis("scale", "a", uniform(0.5, 1.5)), count=5, seed=12
+        )
+        assert [s.operations[0].amount for s in other] != first
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ScenarioError):
+            SamplePlan(
+                name="s",
+                axes=(sample_axis("scale", "a", uniform(0, 1)),),
+                count=2,
+                seed="not-a-seed",
+            )
+
+    def test_distributions(self):
+        plan = sample(
+            sample_axis("scale", "a", uniform(0.5, 1.5)),
+            sample_axis("set", "b", normal(10.0, 0.1)),
+            sample_axis("scale", "c", choice([2.0, 3.0])),
+            count=50,
+            seed=3,
+        )
+        for scenario in plan:
+            ops = scenario.operations
+            assert 0.5 <= ops[0].amount < 1.5
+            assert 9.0 < ops[1].amount < 11.0
+            assert ops[2].amount in (2.0, 3.0)
+
+    def test_negative_scale_draws_clamped(self):
+        plan = sample(
+            sample_axis("scale", "a", normal(0.0, 5.0)), count=50, seed=5
+        )
+        assert all(s.operations[0].amount >= 0.0 for s in plan)
+
+
+class TestComposePlan:
+    def test_compose_prefixes_base_operations(self):
+        base = Scenario("base").scale("a", 0.5)
+        variants = [Scenario("v1").scale("b", 2.0), Scenario("v2")]
+        plan = compose(base, variants)
+        scenarios = plan.scenarios()
+        assert len(plan) == 2
+        assert scenarios[0].name == "v1"
+        assert scenarios[0].operations[0] is base.operations[0]
+        assert scenarios[0].operations[1] is variants[0].operations[0]
+        assert scenarios[1].operations == base.operations
+
+    def test_compose_over_plan(self):
+        base = Scenario("base").set_value("a", 3.0)
+        inner = grid(axis("scale", "b", [1.0, 2.0, 3.0]), name="inner")
+        plan = compose(base, inner)
+        assert isinstance(plan, ComposePlan)
+        assert len(plan) == 3
+        for scenario in plan:
+            assert scenario.operations[0] is base.operations[0]
+
+
+class TestPlanFromSpec:
+    def test_grid_spec(self):
+        plan = plan_from_spec(
+            {
+                "type": "grid",
+                "name": "march",
+                "base": [
+                    {"op": "scale", "variables": ["p1", "p2"], "amount": 0.9}
+                ],
+                "axes": [
+                    {"op": "scale", "variables": ["m3"],
+                     "values": [0.8, 1.0, 1.2]}
+                ],
+            }
+        )
+        assert isinstance(plan, GridPlan)
+        assert len(plan) == 3
+        first = next(iter(plan))
+        assert first.operations[0].kind == "scale"
+        assert first.operations[0].selector == ("p1", "p2")
+        assert first.operations[1].amount == 0.8
+
+    def test_sample_spec_requires_seed(self):
+        spec = {
+            "type": "sample",
+            "count": 4,
+            "axes": [
+                {"op": "scale", "variables": ["m1"],
+                 "distribution": {"kind": "uniform", "low": 0.5, "high": 1.5}}
+            ],
+        }
+        with pytest.raises(ScenarioError):
+            plan_from_spec(spec)
+        plan = plan_from_spec({**spec, "seed": 9})
+        assert isinstance(plan, SamplePlan)
+        assert len(plan) == 4
+
+    def test_invalid_specs(self):
+        with pytest.raises(ScenarioError):
+            plan_from_spec({"type": "mystery"})
+        with pytest.raises(ScenarioError):
+            plan_from_spec({"type": "grid", "axes": "oops"})
+        with pytest.raises(ScenarioError):
+            plan_from_spec(
+                {"type": "grid", "axes": [{"op": "scale", "values": [1.0]}]}
+            )
+        with pytest.raises(ScenarioError):
+            plan_from_spec(
+                {
+                    "type": "sample",
+                    "seed": 1,
+                    "axes": [{"op": "scale", "variables": ["a"]}],
+                }
+            )

@@ -4,8 +4,9 @@ The engine's speed rests on a handful of vectorised kernels; a stray
 ``.copy()`` or per-element Python loop inside one silently turns an
 O(touched) pass into an O(everything) one.  The designated kernels are the
 matrix/delta evaluators and their per-group helpers in
-``provenance/valuation.py`` and ``provenance/backends/numeric.py``, plus the
-incremental-greedy coarsening loop in ``core/kernel/greedy.py``.
+``provenance/valuation.py`` and ``provenance/backends/numeric.py``, the
+incremental-greedy coarsening loop in ``core/kernel/greedy.py``, and the
+shared-delta factoring loop in ``batch/factored.py``.
 
 Inside a designated kernel this rule flags, **when executed under a loop**
 (a one-off allocation at kernel entry is fine; one per scenario/segment is
@@ -56,6 +57,8 @@ KERNELS: Tuple[Tuple[str, str], ...] = (
     ("core/kernel/greedy.py", "run"),
     ("core/kernel/greedy.py", "_remove_row"),
     ("core/kernel/greedy.py", "_add_row"),
+    ("batch/factored.py", "factor_batch"),
+    ("batch/factored.py", "prefix_statistics"),
 )
 
 DTYPE_CONSTRUCTORS = {
@@ -80,6 +83,7 @@ class HotPathAllocationRule(Rule):
         "src/repro/provenance/valuation.py",
         "src/repro/provenance/backends/numeric.py",
         "src/repro/core/kernel/greedy.py",
+        "src/repro/batch/factored.py",
     )
 
     def check(self, context: FileContext) -> Iterable[Finding]:
