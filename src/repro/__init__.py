@@ -13,6 +13,8 @@ companion).  The package is organised as follows:
   evaluated as vectorised matrix operations over compiled provenance;
 * :mod:`repro.workloads` — the telephony running example and a TPC-H-style
   workload, plus random-instance generators;
+* :mod:`repro.resilience` — deterministic fault injection, retry policy and
+  degradation events threaded through the store and batch pipelines;
 * :mod:`repro.cli` — a command-line front-end mirroring the demo's GUI flow.
 """
 
@@ -68,6 +70,15 @@ from repro.batch import (
     ScenarioOutcome,
 )
 from repro.db import Catalog, Query, col, const, execute, parse_sql, to_provenance_set
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    collect_degradations,
+    fault_plan,
+    fault_point,
+    install_plan,
+)
 
 __version__ = "1.0.0"
 
@@ -124,5 +135,12 @@ __all__ = [
     "execute",
     "parse_sql",
     "to_provenance_set",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "collect_degradations",
+    "fault_plan",
+    "fault_point",
+    "install_plan",
     "__version__",
 ]

@@ -24,12 +24,26 @@ evaluates the whole sweep with one of three vectorised pipelines:
 ``mode="auto"`` picks between them by the batch's touched-variable fraction
 and prefix-sharing statistics; ``processes=N`` shards scenario rows of any
 pipeline across worker processes with chunked, memory-bounded assembly.
+
+Resilience: shard maps run in *rounds* under the evaluator's
+:class:`~repro.resilience.RetryPolicy` — a broken pool salvages every
+completed shard result and re-submits only the failed shards to a fresh
+pool, escalating to per-shard serial evaluation (itself retried) only
+after the pool rounds are exhausted.  Per-shard wall-clock deadlines
+(``RetryPolicy.shard_timeout``) bound hung workers, pool bringup and
+compilation retry transient I/O failures, and every recovery lands in the
+``resilience.*`` metrics plus the report's ``degradations`` summary.  The
+``batch.shard``/``batch.compile``/``pool.bringup`` fault-injection sites
+make all of it deterministically testable.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 try:
@@ -43,6 +57,7 @@ import numpy as np
 from repro.core.compression import Abstraction, Compressor
 from repro.core.defaults import default_meta_valuation
 from repro.engine.scenario import Scenario
+from repro.exceptions import SerializationError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import current_span, get_tracer, trace, tracing_enabled
 from repro.provenance.backends import BackendLike, resolve_backend
@@ -51,6 +66,16 @@ from repro.provenance.valuation import (
     CompiledProvenanceSet,
     FingerprintCache,
     Valuation,
+)
+from repro.resilience import (
+    RetryPolicy,
+    active_plan_spec,
+    collect_degradations,
+    fault_point,
+    install_plan,
+    plan_from_spec,
+    policy_from_env,
+    record_degradation,
 )
 from repro.batch.factored import factor_batch, prefix_statistics
 from repro.batch.planner import DeltaPlan, ScenarioBatch
@@ -101,10 +126,16 @@ _EVALUATION_MODES = ("auto", "dense", "sparse", "factored")
 _SHARD_STATE: Dict[str, object] = {}
 
 
-def _init_shard_worker(compiled, base_vector, obs: bool = False) -> None:
+def _init_shard_worker(
+    compiled, base_vector, obs: bool = False, fault_spec=None
+) -> None:
     _SHARD_STATE["compiled"] = compiled
     _SHARD_STATE["base"] = base_vector
     _SHARD_STATE["obs"] = obs
+    if fault_spec is not None:
+        # Re-arm the parent's fault plan in this worker (spawn platforms
+        # inherit nothing; fork platforms get fresh per-worker counters).
+        install_plan(plan_from_spec(fault_spec))
     if obs:
         # Fresh observability state in the worker: a forked child inherits
         # the parent's open span stack and recorded roots, which must not
@@ -132,6 +163,7 @@ def _obs_shard(func, **attributes):
 
 
 def _dense_shard_worker(matrix: np.ndarray):
+    fault_point("batch.shard", kind="dense")
     compiled = _SHARD_STATE["compiled"]
 
     def run_kernel():
@@ -143,6 +175,7 @@ def _dense_shard_worker(matrix: np.ndarray):
 
 
 def _sparse_shard_worker(plans):
+    fault_point("batch.shard", kind="sparse")
     compiled = _SHARD_STATE["compiled"]
     base_vector = _SHARD_STATE["base"]
 
@@ -159,104 +192,252 @@ def _pool_probe() -> bool:
     return True
 
 
-def _bringup_pool(processes, initializer=None, initargs=()):
+def _bringup_pool(processes, initializer=None, initargs=(), policy=None):
     """A live ``ProcessPoolExecutor`` of ``processes`` workers, or ``None``.
 
     Process pools need working ``fork``/semaphores; sandboxes and exotic
     platforms may refuse them.  Workers are spawned lazily by the executor,
     so bringup failures can surface either at construction or at first
     submit — both are probed here, with a task that cannot itself raise.
-    A ``None`` return means "this platform has no pool"; any exception a
-    *later* task raises is therefore a genuine worker exception and must
-    propagate, never be mistaken for missing fork support.
+
+    Bringup runs under ``policy``: transient ``OSError`` / broken-pool
+    failures are retried with backoff before giving up (injected via the
+    ``pool.bringup`` fault site).  A ``None`` return means "no pool" —
+    either the platform refuses (``ImportError``/``PermissionError``) or
+    retries were exhausted; the swallowed cause is logged to the metrics
+    registry (``resilience.pool_bringup_failures.<ExcName>``) and recorded
+    as a degradation, never silently eaten.  Any *other* exception — a
+    genuine worker bug such as a ``RuntimeError`` from an initializer that
+    survives bringup — propagates to the caller.
     """
-    try:
+    if policy is None:
+        policy = policy_from_env()
+
+    def attempt():
+        fault_point("pool.bringup", processes=processes)
         from concurrent.futures import ProcessPoolExecutor
 
         pool = ProcessPoolExecutor(
             max_workers=processes, initializer=initializer, initargs=initargs
         )
-    except (ImportError, OSError, PermissionError):
-        return None
+        probed = False
+        try:
+            pool.submit(_pool_probe).result()
+            probed = True
+        finally:
+            if not probed:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return pool
+
     try:
-        pool.submit(_pool_probe).result()
-    except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
-        pool.shutdown(wait=False, cancel_futures=True)
+        return policy.run(
+            attempt,
+            retryable=(OSError, BrokenProcessPool),
+            give_up=(ImportError, PermissionError),
+            site="pool.bringup",
+        )
+    except (ImportError, BrokenProcessPool, OSError) as exc:
+        registry = get_registry()
+        registry.inc("resilience.pool_bringup_failures")
+        registry.inc(f"resilience.pool_bringup_failures.{type(exc).__name__}")
+        record_degradation(
+            f"process-pool bringup failed ({type(exc).__name__}: {exc}); "
+            "degrading to serial evaluation"
+        )
         return None
-    return pool
 
 
-def _serial_fallback(compiled, base_vector, worker, pieces):
-    """Evaluate the shards serially in-process — same results, no parallelism."""
+def _unpack_shard(raw, obs: bool, shard: int):
+    """Normalise one shard result, grafting worker telemetry immediately."""
+    if not obs:
+        return raw
+    result, spans, delta = raw
+    get_tracer().attach(spans, shard=shard)
+    get_registry().merge(delta)
+    return result
+
+
+def _serial_shards(compiled, base_vector, worker, pieces, indices, results, policy):
+    """The last rung of the escalation ladder: failed shards, in-process.
+
+    Each shard is evaluated serially under ``policy`` (transient
+    I/O / corruption faults are retried; genuine kernel bugs propagate)
+    and written into its slot of ``results``.
+    """
     _init_shard_worker(compiled, base_vector, False)
     try:
-        results = []
-        for i, piece in enumerate(pieces):
+        for i in indices:
             with trace("batch.shard", shard=i, fallback="serial"):
-                results.append(worker(piece))
-        return results
+                piece = pieces[i]
+
+                def run_shard(piece=piece):
+                    return worker(piece)
+
+                results[i] = policy.run(
+                    run_shard,
+                    retryable=(OSError, SerializationError),
+                    site="batch.shard.serial",
+                )
     finally:
         # The fallback runs in-process: drop the references so a large
         # compiled set is not pinned for the life of the service.
         _SHARD_STATE.clear()
 
 
-def _merge_obs(raw):
-    """Graft worker-shipped span subtrees and metric deltas into this process."""
-    tracer = get_tracer()
+def _harvest_round(pool, submit, indices, pieces, results, policy, obs):
+    """Submit one round of shards and harvest: the indices that failed.
+
+    Completed shard results are written straight into ``results`` — a pool
+    that breaks mid-round loses only its unfinished shards.  A shard misses
+    its ``policy.shard_timeout`` deadline → counted under
+    ``resilience.timeouts`` and marked failed; transient worker failures
+    (``OSError``, store corruption) are marked failed for re-run; anything
+    else is a genuine worker bug and propagates.
+    """
+    timeout = policy.shard_timeout
+    deadline = None if timeout is None else time.monotonic() + timeout
+    futures = []
+    unsubmitted = []
+    for position, i in enumerate(indices):
+        try:
+            futures.append((i, submit(pool, pieces[i])))
+        except BrokenProcessPool:
+            # The pool died while we were still submitting: everything not
+            # yet submitted joins the failed set for the next round.
+            unsubmitted = list(indices[position:])
+            break
+    failed = []
     registry = get_registry()
-    results = []
-    for i, (result, spans, delta) in enumerate(raw):
-        results.append(result)
-        tracer.attach(spans, shard=i)
-        registry.merge(delta)
+    for i, future in futures:
+        try:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            raw = future.result(timeout=remaining)
+        except BrokenProcessPool:
+            failed.append(i)
+        except _FuturesTimeout:
+            registry.inc("resilience.timeouts")
+            record_degradation(
+                f"batch.shard[{i}] missed its {timeout:.3g}s deadline"
+            )
+            future.cancel()
+            failed.append(i)
+        except (OSError, SerializationError) as exc:
+            record_degradation(
+                f"batch.shard[{i}] failed ({type(exc).__name__}: {exc}); "
+                "queued for re-run"
+            )
+            failed.append(i)
+        else:
+            results[i] = _unpack_shard(raw, obs, i)
+    failed.extend(unsubmitted)
+    return failed
+
+
+def _resilient_map(pieces, policy, obs, make_pool, submit, release, run_serial):
+    """Map shards over pool rounds with salvage, then serial escalation.
+
+    Round *n* submits every still-pending shard to the pool ``make_pool``
+    yields; completed results are kept (``resilience.salvaged_shards``)
+    and only failures re-run.  ``policy.attempts - 1`` pool rounds (fresh
+    pool each round on the in-memory path, evaluator-managed persistent
+    pool on the store path) are tried before ``run_serial`` finishes the
+    stragglers in-process.  Returns results in piece order.
+    """
+    registry = get_registry()
+    results = [None] * len(pieces)
+    pending = list(range(len(pieces)))
+    pool_rounds = max(1, policy.attempts - 1)
+    for round_no in range(pool_rounds):
+        pool = make_pool(round_no)
+        if pool is None:
+            break
+        submitted = list(pending)
+        completed_ok = False
+        try:
+            failed = _harvest_round(
+                pool, submit, submitted, pieces, results, policy, obs
+            )
+            completed_ok = True
+        finally:
+            release(pool, broken=not completed_ok or bool(failed))
+        if not failed:
+            return results
+        salvaged = len(submitted) - len(failed)
+        if salvaged:
+            registry.inc("resilience.salvaged_shards", salvaged)
+        record_degradation(
+            f"shard round {round_no + 1} degraded: salvaged "
+            f"{salvaged}/{len(submitted)} shards, re-running {len(failed)}"
+        )
+        pending = failed
+    run_serial(pending, results)
     return results
 
 
-def _process_map(processes, compiled, base_vector, worker, pieces):
-    """Map ``worker`` over ``pieces`` on a process pool, serially on fallback.
+def _process_map(processes, compiled, base_vector, worker, pieces, policy=None):
+    """Map ``worker`` over ``pieces`` on per-call process pools with salvage.
 
-    The fallback triggers only on pool *bringup* failure (no executor, no
-    fork support — see :func:`_bringup_pool`) or on a pool broken by worker
-    death; an exception raised by the shard kernels themselves propagates to
-    the caller instead of being silently recomputed serially.
+    The in-memory flavour: each pool round pickles the compiled set into
+    worker initargs (fresh pool per round, so a broken pool never poisons
+    the retry).  Escalation and salvage semantics are
+    :func:`_resilient_map`'s; with no pool at all every shard runs serially.
 
     With tracing enabled, pool workers record their own span subtrees and
-    metric deltas (see :func:`_obs_shard`) and the parent merges them here,
-    stamping each grafted root with its shard index; the serial fallback
-    records plain nested ``batch.shard`` spans instead — it already runs
-    inside the parent's live trace, so nothing needs shipping.
+    metric deltas (see :func:`_obs_shard`) and the parent grafts them as
+    each future completes, stamping each root with its shard index; the
+    serial rung records plain nested ``batch.shard`` spans instead — it
+    already runs inside the parent's live trace, so nothing needs shipping.
     """
+    if policy is None:
+        policy = policy_from_env()
     obs = tracing_enabled()
-    pool = _bringup_pool(
-        processes,
-        initializer=_init_shard_worker,
-        initargs=(compiled, base_vector, obs),
+    fault_spec = active_plan_spec()
+
+    def make_pool(round_no):
+        return _bringup_pool(
+            processes,
+            initializer=_init_shard_worker,
+            initargs=(compiled, base_vector, obs, fault_spec),
+            policy=policy,
+        )
+
+    def submit_shard(pool, piece):
+        return pool.submit(worker, piece)
+
+    def release(pool, broken):
+        pool.shutdown(wait=not broken, cancel_futures=broken)
+
+    def run_serial(indices, results):
+        _serial_shards(
+            compiled, base_vector, worker, pieces, indices, results, policy
+        )
+
+    return _resilient_map(
+        pieces, policy, obs, make_pool, submit_shard, release, run_serial
     )
-    if pool is None:
-        return _serial_fallback(compiled, base_vector, worker, pieces)
-    try:
-        with pool:
-            raw = list(pool.map(worker, pieces))
-    except BrokenProcessPool:
-        # Workers died without raising (crash, OOM kill): the shards are
-        # still computable, just not in parallel.
-        return _serial_fallback(compiled, base_vector, worker, pieces)
-    if not obs:
-        return raw
-    return _merge_obs(raw)
 
 
 def _store_shard_task(task):
     """One task of the persistent store-backed pool: open + evaluate a shard.
 
-    ``task`` is ``(store_path, kind, base_vector, obs, piece)`` — the pool is
-    generic (no initializer), so each task names its compiled store.  The
-    per-process store cache (:func:`repro.provenance.store.open_store`) makes
-    repeated opens O(header), and every worker mapping the same file shares
-    one page-cache copy of the arrays.
+    ``task`` is ``(store_path, kind, base_vector, obs, fault_spec, piece)`` —
+    the pool is generic (no initializer), so each task names its compiled
+    store.  The per-process store cache
+    (:func:`repro.provenance.store.open_store`) makes repeated opens
+    O(header), and every worker mapping the same file shares one page-cache
+    copy of the arrays.
     """
-    path, kind, base_vector, obs, piece = task
+    path, kind, base_vector, obs, fault_spec, piece = task
+    if fault_spec is not None:
+        from repro.resilience import active_plan
+
+        # Arm once per worker process (counters persist across this
+        # worker's tasks, keeping injection schedules deterministic).
+        if active_plan() is None:
+            install_plan(plan_from_spec(fault_spec))
+    fault_point("batch.shard", kind=kind, store=True)
     # Persistent workers serve many calls: start each task with a clean
     # tracer so reused workers never accumulate undrained spans, and only
     # record when the parent is tracing this call.
@@ -468,6 +649,11 @@ class BatchEvaluator:
     processes:
         Default process-pool width for :meth:`evaluate`'s sharding path
         (overridable per call).  ``None`` evaluates in-process.
+    retry_policy:
+        The :class:`~repro.resilience.RetryPolicy` governing shard
+        retries/deadlines, pool bringup and store opens.  Defaults to
+        :func:`~repro.resilience.policy_from_env` (``COBRA_RETRY``
+        overrides honoured).
     """
 
     def __init__(
@@ -478,6 +664,7 @@ class BatchEvaluator:
         compressor: Optional[Compressor] = None,
         max_bytes: Optional[int] = None,
         processes: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -494,9 +681,15 @@ class BatchEvaluator:
         self._chunk_size = chunk_size
         self._max_bytes = max_bytes
         self._processes = processes
+        self._retry = retry_policy if retry_policy is not None else policy_from_env()
         self._compiled = FingerprintCache(cache_size, metrics="batch.compile_cache")
         self._compressor = compressor
         self._store_pool: Optional[_StoreShardPool] = None
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The retry posture this evaluator applies to shards/pools/stores."""
+        return self._retry
 
     # -- compiled-provenance cache -------------------------------------------
 
@@ -509,11 +702,17 @@ class BatchEvaluator:
         """
         backend = resolve_backend(semiring)
 
-        def build():
+        def build_once():
+            fault_point("batch.compile", backend=backend.name)
             with trace(
                 "batch.compile", backend=backend.name, monomials=provenance.size()
             ):
                 return backend.compile(provenance)
+
+        def build():
+            return self._retry.run(
+                build_once, retryable=(OSError,), site="batch.compile"
+            )
 
         return self._compiled.get_or_build(
             (provenance.fingerprint(), backend.name), build
@@ -539,7 +738,7 @@ class BatchEvaluator:
 
     # -- compiled stores -------------------------------------------------------
 
-    def adopt_store(self, path):
+    def adopt_store(self, path, provenance=None, semiring=None):
         """Open the compiled store at ``path`` and seed the compile cache.
 
         Subsequent :meth:`evaluate` calls over provenance with the store's
@@ -547,10 +746,36 @@ class BatchEvaluator:
         recompiling, and ``processes=N`` sharding ships the store *path* to a
         persistent worker pool instead of pickling the compiled set per call.
         Returns the mapped compiled set.
-        """
-        from repro.provenance.store import open_store
 
-        compiled = open_store(path)
+        Opening runs under the evaluator's retry policy (transient I/O
+        failures back off and retry).  A store that fails verification —
+        bad magic, truncated blocks, a CRC mismatch — is quarantined
+        (:func:`~repro.provenance.store.quarantine_store`); when
+        ``provenance`` is supplied the evaluator then transparently
+        recompiles it (for ``semiring``) instead of raising, so a corrupt
+        artifact degrades a warm start into a recompile, not an outage.
+        """
+        from repro.provenance.store import open_store, quarantine_store
+
+        def open_once():
+            return open_store(path)
+
+        try:
+            compiled = self._retry.run(
+                open_once,
+                retryable=(OSError,),
+                give_up=(FileNotFoundError,),
+                site="store.open",
+            )
+        except SerializationError as exc:
+            quarantined = quarantine_store(path)
+            if provenance is None:
+                raise
+            record_degradation(
+                f"store {path} was corrupt ({exc}); quarantined to "
+                f"{quarantined} and recompiled from provenance"
+            )
+            return self.compile(provenance, semiring)
         self._compiled.put(
             (compiled.source_fingerprint, compiled.backend_name), compiled
         )
@@ -578,7 +803,7 @@ class BatchEvaluator:
         if self._store_pool is not None and self._store_pool.processes != processes:
             self.close()
         if self._store_pool is None:
-            pool = _bringup_pool(processes)
+            pool = _bringup_pool(processes, policy=self._retry)
             if pool is None:
                 return None
             self._store_pool = _StoreShardPool(pool, processes)
@@ -589,25 +814,45 @@ class BatchEvaluator:
 
         Store-backed compiled sets take the evaluator's persistent pool with
         path-per-task shipping; in-memory ones take the per-call pool that
-        pickles the compiled set into worker initargs.  Either way a broken
-        pool degrades to the serial fallback and worker exceptions propagate.
+        pickles the compiled set into worker initargs.  Both run the same
+        salvage/retry rounds (:func:`_resilient_map`): a broken pool keeps
+        completed shards and re-runs only the failures on a fresh pool,
+        escalating to in-process serial evaluation; genuine worker
+        exceptions still propagate.
         """
         store_path = getattr(compiled, "store_path", None)
+        policy = self._retry
         if store_path is None:
-            return _process_map(processes, compiled, base_vector, worker, pieces)
+            return _process_map(
+                processes, compiled, base_vector, worker, pieces, policy
+            )
         obs = tracing_enabled()
-        shard_pool = self._store_pool_for(processes)
-        if shard_pool is None:
-            return _serial_fallback(compiled, base_vector, worker, pieces)
-        tasks = [(store_path, kind, base_vector, obs, piece) for piece in pieces]
-        try:
-            raw = list(shard_pool.pool.map(_store_shard_task, tasks))
-        except BrokenProcessPool:
-            self.close()
-            return _serial_fallback(compiled, base_vector, worker, pieces)
-        if not obs:
-            return raw
-        return _merge_obs(raw)
+        fault_spec = active_plan_spec()
+
+        def make_pool(round_no):
+            if round_no:
+                # The previous round broke the persistent pool; force a
+                # fresh one for the re-run.
+                self.close()
+            shard_pool = self._store_pool_for(processes)
+            return None if shard_pool is None else shard_pool.pool
+
+        def submit_shard(pool, piece):
+            task = (store_path, kind, base_vector, obs, fault_spec, piece)
+            return pool.submit(_store_shard_task, task)
+
+        def release(pool, broken):
+            if broken:
+                self.close()
+
+        def run_serial(indices, results):
+            _serial_shards(
+                compiled, base_vector, worker, pieces, indices, results, policy
+            )
+
+        return _resilient_map(
+            pieces, policy, obs, make_pool, submit_shard, release, run_serial
+        )
 
     # -- compression ----------------------------------------------------------
 
@@ -741,25 +986,31 @@ class BatchEvaluator:
         registry = get_registry()
         registry.inc("batch.evaluations")
         registry.inc("batch.scenarios", len(scenarios))
-        if not tracing_enabled():
-            return self._evaluate_impl(
-                provenance, scenarios, base_valuation, compressed, abstraction,
-                semiring, mode, processes,
-            )
-        with trace(
-            "batch.evaluate", scenarios=len(scenarios), requested_mode=mode
-        ) as span:
-            with registry.scope() as run:
+        with collect_degradations() as degradations:
+            if not tracing_enabled():
                 report = self._evaluate_impl(
                     provenance, scenarios, base_valuation, compressed,
                     abstraction, semiring, mode, processes,
                 )
-            span.update(
-                {
-                    "mode": report.mode,
-                    "semiring": report.semiring,
-                    "metrics": run.metrics,
-                }
+            else:
+                with trace(
+                    "batch.evaluate", scenarios=len(scenarios), requested_mode=mode
+                ) as span:
+                    with registry.scope() as run:
+                        report = self._evaluate_impl(
+                            provenance, scenarios, base_valuation, compressed,
+                            abstraction, semiring, mode, processes,
+                        )
+                    span.update(
+                        {
+                            "mode": report.mode,
+                            "semiring": report.semiring,
+                            "metrics": run.metrics,
+                        }
+                    )
+        if degradations:
+            report = replace(
+                report, degradations=report.degradations + tuple(degradations)
             )
         return report
 
@@ -1094,6 +1345,9 @@ class BatchEvaluator:
             compressed_size=first.compressed_size,
             semiring=first.semiring,
             mode=modes.pop() if len(modes) == 1 else "mixed",
+            degradations=tuple(
+                event for report in reports for event in report.degradations
+            ),
         )
 
     @staticmethod

@@ -79,6 +79,12 @@ class BatchReport:
         fallback of set-valued semirings).  Both numeric paths produce
         element-wise equal results; the field records what ``mode="auto"``
         picked.
+    degradations:
+        Resilience events the evaluation recovered from (shard retries,
+        salvaged pool breaks, quarantined stores, serial fallbacks), one
+        human-readable sentence each.  Empty for a clean run; non-empty
+        means the numbers are exact but the sweep *succeeded degraded* —
+        worth surfacing before trusting latency measurements.
     """
 
     scenario_names: Tuple[str, ...]
@@ -90,6 +96,12 @@ class BatchReport:
     compressed_size: Optional[int] = None
     semiring: str = "real"
     mode: str = "dense"
+    degradations: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the evaluation recovered from any failure along the way."""
+        return bool(self.degradations)
 
     def __len__(self) -> int:
         return len(self.scenario_names)
@@ -249,6 +261,7 @@ class BatchReport:
             "max_absolute_error": self.max_absolute_error,
             "mean_absolute_error": self.mean_absolute_error,
             "max_relative_error": self.max_relative_error,
+            "degradations": list(self.degradations),
         }
 
     def render_text(self, max_rows: int = 10) -> str:
@@ -290,4 +303,9 @@ class BatchReport:
             lines.append(line)
         if len(self) > max_rows:
             lines.append(f"... ({len(self) - max_rows} more scenarios)")
+        if self.degradations:
+            lines.append("")
+            lines.append(f"degraded ({len(self.degradations)} recoveries):")
+            for event in self.degradations:
+                lines.append(f"  - {event}")
         return "\n".join(lines)

@@ -185,11 +185,58 @@ def run_tpch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_fault_plan(raw) -> int:
+    """Arm a ``--fault-plan`` (inline JSON or a path to JSON); 0 on success.
+
+    The same spec shape as the ``COBRA_FAULTS`` environment variable; the
+    plan stays armed for the rest of the process, which for a CLI run is
+    exactly the command being executed.
+    """
+    if not raw:
+        return 0
+    from repro.resilience import FaultPlanError, install_plan, plan_from_spec
+
+    try:
+        text = raw if raw.strip().startswith("{") else Path(raw).read_text()
+        plan = plan_from_spec(json.loads(text))
+    except (OSError, json.JSONDecodeError, FaultPlanError) as exc:
+        _print(f"cobra: invalid --fault-plan: {exc}")
+        return 1
+    install_plan(plan)
+    specs = ", ".join(
+        f"{spec.site}:{spec.kind}" for spec in plan.specs
+    )
+    _print(f"fault injection armed (seed {plan.seed}): {specs}")
+    return 0
+
+
+def _print_resilience_summary() -> None:
+    """One line of resilience counters, only when something degraded."""
+    from repro.obs.metrics import get_registry
+
+    counters = get_registry().snapshot_prefix("resilience.").get("counters", {})
+    interesting = {
+        name: value
+        for name, value in counters.items()
+        if value and not name.startswith("resilience.injected_faults")
+    }
+    if interesting:
+        _print(
+            "resilience: "
+            + ", ".join(
+                f"{name[len('resilience.'):]}={value}"
+                for name, value in sorted(interesting.items())
+            )
+        )
+
+
 def run_batch(args: argparse.Namespace) -> int:
     """Vectorised multi-scenario what-if evaluation over the telephony workload."""
     from repro.batch import BatchEvaluator
     from repro.utils.timing import Timer
 
+    if _install_fault_plan(getattr(args, "fault_plan", None)):
+        return 1
     config = TelephonyConfig(
         num_customers=args.customers,
         num_zips=args.zips,
@@ -250,6 +297,7 @@ def run_batch(args: argparse.Namespace) -> int:
         f"batch evaluation ({report.mode}): {timer.elapsed * 1e3:.1f} ms total "
         f"({per_scenario * 1e6:.0f} us/scenario)"
     )
+    _print_resilience_summary()
 
     if args.compare_sequential:
         base = session.base_valuation
@@ -311,6 +359,8 @@ def run_sweep(args: argparse.Namespace) -> int:
     from repro.obs.metrics import get_registry
     from repro.utils.timing import Timer
 
+    if _install_fault_plan(getattr(args, "fault_plan", None)):
+        return 1
     if args.plan and args.plan_json:
         _print("cobra sweep: pass --plan or --plan-json, not both")
         return 1
@@ -397,6 +447,7 @@ def run_sweep(args: argparse.Namespace) -> int:
             f"factoring: {hits}/{hits + misses} chunks factored, "
             f"prefix cells {prefix_cells}, residual cells {residual_cells}"
         )
+    _print_resilience_summary()
 
     if args.json:
         summary = report.summary()
@@ -646,6 +697,14 @@ def _add_semiring_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_batch_mode_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|PATH",
+        help="arm deterministic fault injection for this run: inline JSON or "
+        "a path to a JSON fault plan (same shape as COBRA_FAULTS); the "
+        "report's degradation summary shows what was recovered",
+    )
     parser.add_argument(
         "--mode",
         choices=("auto", "dense", "sparse", "factored"),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import SessionStateError
+from repro.exceptions import SerializationError, SessionStateError
 from repro.provenance.backends import BackendLike, resolve_backend
 from repro.provenance.polynomial import ProvenanceSet
 from repro.provenance.valuation import (
@@ -323,7 +323,7 @@ class CobraSession:
         to_store(path)
         return compiled
 
-    def open_from_store(self, path):
+    def open_from_store(self, path, recover: bool = True):
         """Adopt the compiled store at ``path`` as this session's compiled form.
 
         The store must match the session: same backend, and a fingerprint
@@ -335,17 +335,49 @@ class CobraSession:
         then ships the store *path* to a persistent worker pool — runs off
         the mapped arrays.  Returns the mapped compiled set.
 
+        Opening runs under the environment's retry policy
+        (``COBRA_RETRY``-tunable): transient I/O failures back off and
+        retry before anything is declared corrupt.
+
+        With ``recover=True`` (default), a store that fails verification —
+        bad magic, truncated blocks, a CRC32 mismatch — is quarantined
+        (renamed ``<path>.quarantined``) and the session transparently
+        recompiles from its own provenance instead of raising: the warm
+        start degrades to a compile, recorded as a degradation event and
+        under ``resilience.quarantines``.
+
         Raises
         ------
         SerializationError
-            If the file is not a valid compiled store.
+            If the file is not a valid compiled store (``recover=False``).
         SessionStateError
             On a backend or provenance-fingerprint mismatch.
         """
         from repro.batch.evaluator import BatchEvaluator
-        from repro.provenance.store import open_store
+        from repro.provenance.store import open_store, quarantine_store
+        from repro.resilience import policy_from_env, record_degradation
 
-        compiled = open_store(path)
+        def open_once():
+            return open_store(path)
+
+        try:
+            compiled = policy_from_env().run(
+                open_once,
+                retryable=(OSError,),
+                give_up=(FileNotFoundError,),
+                site="store.open",
+            )
+        except SerializationError as exc:
+            quarantined = quarantine_store(path)
+            if not recover:
+                raise
+            record_degradation(
+                f"store {path} was corrupt ({exc}); quarantined to "
+                f"{quarantined} and recompiled from session provenance"
+            )
+            with obs_trace("session.compile", which="full", recovery="store"):
+                self._compiled_full = self._backend.compile(self._provenance)
+            return self._compiled_full
         if compiled.backend_name != self._backend.name:
             raise SessionStateError(
                 f"{path}: store was compiled for the "

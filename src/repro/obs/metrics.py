@@ -175,6 +175,22 @@ class MetricsRegistry:
             "histograms": {n: h.summary() for n, h in self._histograms.items()},
         }
 
+    def snapshot_prefix(self, prefix: str) -> Dict[str, Any]:
+        """Like :meth:`snapshot`, restricted to names starting with ``prefix``.
+
+        The cheap way for a subsystem (``"resilience."``, ``"store_cache."``)
+        to report just its own metrics without callers filtering the full
+        snapshot by hand.
+        """
+        return {
+            section: {
+                name: value
+                for name, value in values.items()
+                if name.startswith(prefix)
+            }
+            for section, values in self.snapshot().items()
+        }
+
     def reset(self) -> None:
         """Zero every registered metric (names stay registered).
 

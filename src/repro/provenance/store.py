@@ -38,6 +38,16 @@ process-wide :class:`~repro.provenance.valuation.FingerprintCache` reporting
 ``store_cache.hits``/``store_cache.misses`` into the metrics registry;
 ``store.build``/``store.open`` spans and ``store.builds``/``store.opens``
 counters cover the two operations.
+
+Integrity (format version 2): every block directory entry carries a CRC32
+of its raw bytes, verified when the block is first mapped — and since
+opening reconstructs the compiled set from *every* block, a corrupt store
+fails at open time, before any kernel touches bad data.  Version-1 stores
+(no checksums) remain readable.  :func:`quarantine_store` renames a store
+that failed verification to ``<path>.quarantined`` so the next open does
+not trip over it again; callers (the evaluator, sessions) then recompile
+from provenance.  The ``store.open``/``store.read_block`` fault-injection
+sites let the chaos suite drive these paths deterministically.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,18 +67,22 @@ if TYPE_CHECKING:
 from repro.exceptions import SerializationError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace
-from repro.provenance.serialization import (
-    PathLike,
-    _atomic_write_bytes,
-    _unwrap,
-    _wrap,
-)
+from repro.provenance.serialization import PathLike, _atomic_write_bytes
+from repro.resilience import fault_point, record_degradation
 
 #: Leading magic of every compiled-store file.
 MAGIC = b"COBRASTO"
 
 #: The ``kind`` stamped into the store's version envelope.
 STORE_KIND = "compiled_store"
+
+#: The store format version written by this build.  Version 2 added
+#: per-block CRC32 checksums to the block directory.
+STORE_VERSION = 2
+
+#: Store format versions this build reads.  Version-1 stores simply lack
+#: block checksums; their data layout is identical.
+SUPPORTED_STORE_VERSIONS = (1, 2)
 
 #: Every raw block (and the data section itself) starts on this boundary,
 #: so mapped views are aligned for any vectorised access.
@@ -144,6 +159,7 @@ def write_store(compiled: Any, path: PathLike) -> str:
                 "dtype": array.dtype.str,
                 "shape": list(array.shape),
                 "offset": cursor,
+                "crc32": zlib.crc32(array.tobytes()),
             }
             cursor += array.nbytes
 
@@ -166,7 +182,9 @@ def write_store(compiled: Any, path: PathLike) -> str:
             "groups": groups_meta,
             "blocks": directory,
         }
-        header = json.dumps(_wrap(STORE_KIND, "store", payload)).encode("utf-8")
+        header = json.dumps(
+            {"version": STORE_VERSION, "kind": STORE_KIND, "store": payload}
+        ).encode("utf-8")
 
         prefix_len = len(MAGIC) + _HEADER_LEN_STRUCT.size + len(header)
         data_start = _align(prefix_len)
@@ -229,7 +247,23 @@ def read_store_header(path: PathLike) -> Dict[str, object]:
         raise SerializationError(
             f"{path}: compiled-store header is missing its version envelope"
         )
-    payload = _unwrap(document, STORE_KIND, "store", path)
+    version = document["version"]
+    if version not in SUPPORTED_STORE_VERSIONS:
+        raise SerializationError(
+            f"{path}: unsupported format version {version!r} (this build "
+            f"reads versions {', '.join(map(str, SUPPORTED_STORE_VERSIONS))})"
+        )
+    if document.get("kind") != STORE_KIND:
+        raise SerializationError(
+            f"{path}: expected a {STORE_KIND!r} file, "
+            f"found kind={document.get('kind')!r}"
+        )
+    if "store" not in document:
+        raise SerializationError(
+            f"{path}: versioned {STORE_KIND!r} file is missing its "
+            "'store' payload"
+        )
+    payload = document["store"]
     if not isinstance(payload, dict) or "blocks" not in payload:
         raise SerializationError(
             f"{path}: compiled-store header has no block directory"
@@ -245,7 +279,13 @@ def _data_start(path: PathLike) -> int:
 
 
 class _BlockReader:
-    """Zero-copy views into one mapped store file."""
+    """Zero-copy views into one mapped store file.
+
+    Version-2 directory entries carry a ``crc32`` of the block's raw
+    bytes; the first view of each block verifies it (verified names are
+    memoised, so steady-state reads stay zero-cost).  Opening a store
+    touches every block, which is what makes "verified on open" true.
+    """
 
     def __init__(
         self, path: str, directory: Dict[str, Dict], data_start: int
@@ -254,8 +294,10 @@ class _BlockReader:
         self._raw = np.memmap(path, dtype=np.uint8, mode="r")
         self._directory = directory
         self._data_start = data_start
+        self._verified: set = set()
 
     def __call__(self, name: str) -> np.ndarray:
+        fault_point("store.read_block", path=self._path, block=name)
         try:
             meta = self._directory[name]
         except KeyError:
@@ -272,6 +314,16 @@ class _BlockReader:
                 f"{self._path}: truncated compiled store (block {name!r} "
                 f"ends at byte {end}, file has {self._raw.size})"
             )
+        expected_crc = meta.get("crc32")
+        if expected_crc is not None and name not in self._verified:
+            actual_crc = zlib.crc32(self._raw[start:end])
+            if actual_crc != int(expected_crc):
+                raise SerializationError(
+                    f"{self._path}: block {name!r} failed its CRC32 check "
+                    f"(expected {int(expected_crc):#010x}, got "
+                    f"{actual_crc:#010x}) — the store is corrupt"
+                )
+            self._verified.add(name)
         view = self._raw[start:end].view(dtype).reshape(shape)
         if view.flags.writeable:
             # mode="r" maps must stay read-only end to end: a writeable view
@@ -308,6 +360,7 @@ def _store_classes() -> Dict[str, Tuple[type, type]]:
 def _open_store(path: str) -> "CompiledSemiringSet":
     from repro.provenance.incidence import VariableIncidence
 
+    fault_point("store.open", path=path)
     header = read_store_header(path)
     backend_name = header.get("backend")
     classes = _store_classes()
@@ -425,3 +478,33 @@ def clear_store_cache() -> None:
     """Drop every cached open store (unmaps once no compiled set holds it)."""
     if _STORE_CACHE is not None:
         _STORE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+def quarantine_store(path: PathLike) -> Optional[str]:
+    """Move a corrupt store out of the way; the quarantine path (or ``None``).
+
+    The file is renamed to ``<path>.quarantined`` (``.quarantined.1``,
+    ``.quarantined.2``, … when earlier quarantines already hold the name)
+    so the next open fails fast with :class:`FileNotFoundError` instead of
+    re-verifying a known-bad file.  Bumps ``resilience.quarantines`` and
+    records a degradation event.  Returns ``None`` when ``path`` no longer
+    exists (e.g. a concurrent quarantine won the rename).
+    """
+    path = os.fspath(path)
+    target = f"{path}.quarantined"
+    suffix = 0
+    while os.path.exists(target):
+        suffix += 1
+        target = f"{path}.quarantined.{suffix}"
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        return None
+    get_registry().inc("resilience.quarantines")
+    record_degradation(f"quarantined corrupt store {path} -> {target}")
+    return target

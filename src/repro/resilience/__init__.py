@@ -1,0 +1,76 @@
+"""Resilience: deterministic fault injection, retry policy, degradation
+events.
+
+This package is a *base* layer (like :mod:`repro.obs`): it imports
+nothing from the rest of :mod:`repro` at module level, so the store,
+evaluator and backends can all arm :func:`fault_point` sites and route
+retries through :class:`RetryPolicy` without layering cycles.
+
+Importing the package arms any plan named by the ``COBRA_FAULTS``
+environment variable, so chaos CI jobs need no code changes to inject.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.events import collect_degradations, record_degradation
+from repro.resilience.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCorruption,
+    InjectedFault,
+    InjectedIOError,
+    InjectedWorkerError,
+    KNOWN_SITES,
+    active_plan,
+    active_plan_spec,
+    arm_from_env,
+    clear_plan,
+    fault_plan,
+    fault_point,
+    install_plan,
+    plan_from_env,
+    plan_from_spec,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RETRY_ENV_VAR,
+    RetryError,
+    RetryPolicy,
+    policy_from_env,
+    policy_from_spec,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "RETRY_ENV_VAR",
+    "KNOWN_SITES",
+    "DEFAULT_RETRY_POLICY",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCorruption",
+    "InjectedFault",
+    "InjectedIOError",
+    "InjectedWorkerError",
+    "RetryError",
+    "RetryPolicy",
+    "active_plan",
+    "active_plan_spec",
+    "arm_from_env",
+    "clear_plan",
+    "collect_degradations",
+    "fault_plan",
+    "fault_point",
+    "install_plan",
+    "plan_from_env",
+    "plan_from_spec",
+    "policy_from_env",
+    "policy_from_spec",
+    "record_degradation",
+]
+
+# Arm the environment-specified plan (noop when COBRA_FAULTS is unset) so
+# chaos jobs and pool workers inject without code changes.
+arm_from_env()

@@ -1,0 +1,56 @@
+"""Degradation events: how a sweep reports that it succeeded *degraded*.
+
+A resilience event (retry, timeout, salvage, quarantine, recompile) is a
+human-readable sentence recorded via :func:`record_degradation`.  The
+batch evaluator brackets each evaluation with
+:func:`collect_degradations` and folds whatever was recorded into
+``BatchReport.degradations``, so callers can distinguish a clean run
+from one that recovered along the way.
+
+Collectors nest: every active collector on the stack receives each
+event, so an outer caller (e.g. a CLI sweep) sees the degradations of
+every inner evaluation it drove.  The stack is thread-local — concurrent
+evaluations on different threads do not see each other's events.  With
+no collector active, :func:`record_degradation` only bumps the
+``resilience.degradations`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List
+
+
+class _CollectorStack(threading.local):
+    """Thread-local stack of active degradation collectors."""
+
+    def __init__(self) -> None:
+        self.stack: List[List[str]] = []
+
+
+_COLLECTORS = _CollectorStack()
+
+
+def record_degradation(event: str) -> None:
+    """Record one degradation event into every active collector."""
+    from repro.obs.metrics import get_registry
+
+    get_registry().inc("resilience.degradations")
+    for sink in _COLLECTORS.stack:
+        sink.append(event)
+
+
+@contextmanager
+def collect_degradations() -> Iterator[List[str]]:
+    """Collect every degradation recorded inside the block.
+
+    Yields the (initially empty) list events are appended to; read it
+    after the block exits.
+    """
+    sink: List[str] = []
+    _COLLECTORS.stack.append(sink)
+    try:
+        yield sink
+    finally:
+        _COLLECTORS.stack.remove(sink)

@@ -718,6 +718,144 @@ class TestLayering:
 
 
 # ---------------------------------------------------------------------------
+# CL007 — retry discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRetryDiscipline:
+    def test_sleep_in_loop_fires(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/engine/mod.py": """
+                import time
+
+                def f(g):
+                    for item in g:
+                        time.sleep(0.1)
+                """
+            },
+            select=["CL007"],
+        )
+        assert len(active(findings, "CL007")) == 1
+        assert "time.sleep" in active(findings, "CL007")[0].message
+
+    def test_ad_hoc_retry_loop_fires(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/engine/mod.py": """
+                def f(g):
+                    for attempt in range(5):
+                        try:
+                            return g()
+                        except OSError:
+                            continue
+                """
+            },
+            select=["CL007"],
+        )
+        assert len(active(findings, "CL007")) == 1
+        assert "RetryPolicy" in active(findings, "CL007")[0].message
+
+    def test_while_retry_with_sleep_fires_both(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/engine/mod.py": """
+                import time
+
+                def f(g):
+                    while True:
+                        try:
+                            return g()
+                        except OSError:
+                            time.sleep(1.0)
+                """
+            },
+            select=["CL007"],
+        )
+        assert len(active(findings, "CL007")) == 2
+
+    def test_per_item_error_isolation_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/batch/mod.py": """
+                def harvest(futures, results):
+                    for index, future in futures:
+                        try:
+                            results[index] = future.result()
+                        except OSError:
+                            results[index] = None
+                """
+            },
+            select=["CL007"],
+        )
+        assert active(findings, "CL007") == []
+
+    def test_bounded_escape_handlers_are_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/engine/mod.py": """
+                def f(g):
+                    for attempt in range(5):
+                        try:
+                            return g()
+                        except OSError:
+                            if attempt == 4:
+                                raise
+                    while True:
+                        try:
+                            return g()
+                        except ValueError:
+                            break
+                """
+            },
+            select=["CL007"],
+        )
+        assert active(findings, "CL007") == []
+
+    def test_retry_policy_module_is_exempt(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/resilience/retry.py": """
+                import time
+
+                def run(func, delays):
+                    for attempt, delay in enumerate(delays):
+                        try:
+                            return func()
+                        except OSError:
+                            time.sleep(delay)
+                """
+            },
+            select=["CL007"],
+        )
+        assert active(findings, "CL007") == []
+
+    def test_suppression_silences(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            {
+                "src/repro/engine/mod.py": """
+                def f(g):
+                    while True:
+                        try:  # cobralint: disable=CL007 -- fixture
+                            return g()
+                        except OSError:
+                            continue
+                """
+            },
+            select=["CL007"],
+        )
+        assert active(findings, "CL007") == []
+        assert len(suppressed(findings, "CL007")) == 1
+
+
+# ---------------------------------------------------------------------------
 # The engine itself
 # ---------------------------------------------------------------------------
 

@@ -50,7 +50,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "Project-specific static analysis: memmap safety (CL001), "
             "picklable worker payloads (CL002), hot-path discipline (CL003), "
             "tracer discipline (CL004), narrow exceptions (CL005), "
-            "package layering (CL006)."
+            "package layering (CL006), retry discipline (CL007)."
         ),
     )
     parser.add_argument(

@@ -5,6 +5,7 @@ from tools.cobralint.rules import (  # noqa: F401  (import-for-registration)
     hotpath,
     layering,
     memmap,
+    retrydiscipline,
     tracerdiscipline,
     workers,
 )
@@ -16,4 +17,5 @@ __all__ = [
     "tracerdiscipline",
     "broadexcept",
     "layering",
+    "retrydiscipline",
 ]

@@ -3,6 +3,7 @@
 The repo's architecture is a layered DAG over ``src/repro``::
 
     exceptions, utils, obs          (base: import nothing of repro)
+    resilience                      (fault injection + retry; exceptions only)
     provenance                      (the algebra + compiled kernels + store)
     core                            (compression kernels, over provenance)
     db                              (mini relational engine)
@@ -34,12 +35,16 @@ from tools.cobralint.engine import FileContext, Finding, ProjectRule, register
 
 #: package → packages it may import at module level.  The facade
 #: ``repro/__init__`` re-exports the public API and is exempt.
-BASE_PACKAGES = {"exceptions", "utils", "obs"}
+BASE_PACKAGES = {"exceptions", "utils", "obs", "resilience"}
 
 ALLOWED_DEPS: Dict[str, Set[str]] = {
     "exceptions": set(),
     "utils": set(),
     "obs": set(),
+    # resilience is base-adjacent: domain layers arm its fault points and
+    # retry policies, so at module level it may only reach exceptions/utils
+    # (obs is reached lazily, on the fire/retry paths only).
+    "resilience": {"exceptions", "utils"},
     "provenance": set(BASE_PACKAGES),
     "core": {"provenance", *BASE_PACKAGES},
     "db": {"provenance", "core", *BASE_PACKAGES},

@@ -1,0 +1,124 @@
+"""CL007 — retry discipline: transient-failure handling goes through RetryPolicy.
+
+PR 10 centralised retries in :class:`repro.resilience.retry.RetryPolicy`:
+seeded jittered backoff, bounded attempts, per-site metrics and degradation
+events.  An ad-hoc retry loop next to it has none of that — it sleeps an
+arbitrary constant, retries forever (or not at all), and leaves no trace in
+``resilience.retries`` for the chaos suite to assert on.
+
+Flagged (in ``src/`` and ``benchmarks/``; the policy's own implementation in
+``src/repro/resilience/retry.py`` is exempt — it is the one place allowed to
+sleep between attempts):
+
+* ``time.sleep(...)`` inside any loop — backoff belongs to
+  :meth:`RetryPolicy.delays`, not hand-rolled pauses;
+* an ad-hoc retry loop: a ``while`` loop, or a ``for`` loop over
+  ``range(...)`` (the classic ``for attempt in range(n)``), whose body
+  contains a ``try``/``except`` where some handler swallows the exception
+  and lets the loop re-run the same work (no re-raise, no ``break``/
+  ``return`` on every path through the handler).
+
+``for`` loops over real collections are *not* flagged: catching per-item
+errors while iterating a work list (the shard harvest loop) processes
+*different* work each iteration — that is error isolation, not retry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.cobralint.engine import FileContext, Finding, Rule, call_name, register
+
+#: Call names that mean "pause this thread" — the retry-loop tell.
+SLEEP_CALLS = {"time.sleep", "sleep"}
+
+
+def _is_retry_shaped_loop(node: ast.AST) -> bool:
+    """``while ...:`` or ``for ... in range(...):`` — loops that re-run the
+    *same* work each iteration rather than walking a collection."""
+    if isinstance(node, ast.While):
+        return True
+    if isinstance(node, ast.For):
+        if isinstance(node.iter, ast.Call):
+            return call_name(node.iter) == "range"
+    return False
+
+
+def _handler_reraises_or_exits(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler ends the retry: re-raises, breaks out, or returns.
+
+    Any of these as a *statement reachable in the handler body* counts — a
+    handler that re-raises after bookkeeping, or breaks once attempts run
+    out, is a bounded escape hatch rather than a silent retry.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Break, ast.Return)):
+            return True
+    return False
+
+
+def _loop_body_iter(loop: ast.AST) -> Iterable[ast.AST]:
+    """Every node in the loop body, not descending into nested functions or
+    nested loops (a nested loop is its own retry candidate)."""
+
+    def walk(node: ast.AST) -> Iterable[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            yield child
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.For, ast.While),
+            ):
+                continue
+            yield from walk(child)
+
+    for stmt in getattr(loop, "body", []) + getattr(loop, "orelse", []):
+        yield stmt
+        yield from walk(stmt)
+
+
+@register
+class RetryDisciplineRule(Rule):
+    id = "CL007"
+    name = "retry-discipline"
+    description = "ad-hoc retry loop / bare sleep outside RetryPolicy"
+    include = ("src/", "benchmarks/")
+    exclude = ("src/repro/resilience/retry.py",)
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for loop in ast.walk(context.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            retry_shaped = _is_retry_shaped_loop(loop)
+            for node in _loop_body_iter(loop):
+                if isinstance(node, ast.Call) and call_name(node) in SLEEP_CALLS:
+                    findings.append(
+                        context.finding(
+                            self,
+                            node,
+                            "time.sleep inside a loop — hand-rolled backoff; "
+                            "use RetryPolicy.run() (seeded jitter, bounded "
+                            "attempts, resilience.retries metrics)",
+                        )
+                    )
+                if (
+                    retry_shaped
+                    and isinstance(node, ast.Try)
+                    and node.handlers
+                    and any(
+                        not _handler_reraises_or_exits(handler)
+                        for handler in node.handlers
+                    )
+                ):
+                    findings.append(
+                        context.finding(
+                            self,
+                            node,
+                            "ad-hoc retry loop: try/except inside a "
+                            "while/range loop swallows the error and re-runs "
+                            "— route the attempt through RetryPolicy.run() "
+                            "so backoff, bounds and metrics apply",
+                        )
+                    )
+        return findings
